@@ -1,0 +1,28 @@
+"""Figure 2 bench — maximum throughput: Eunomia vs a sequencer (§7.1).
+
+Regenerates the partition-count sweep with both services driven to
+saturation.  Paper shapes asserted: the sequencer is flat at its ceiling
+(~48 kops/s at paper scale) while Eunomia scales with offered load to
+roughly 7.7× that ceiling.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig2
+
+
+def bench_fig2_max_throughput(benchmark):
+    params = fig2.Fig2Params.quick()
+    result = run_figure(benchmark, fig2, params)
+
+    counts = list(params.partition_counts)
+    seq_rates = [result.row_value(c, "sequencer_ops_s") for c in counts]
+    eu_rates = [result.row_value(c, "eunomia_ops_s") for c in counts]
+
+    # sequencer: saturated and flat across the sweep
+    assert max(seq_rates) / min(seq_rates) < 1.05
+    # Eunomia: scales with the offered load until its own ceiling
+    assert eu_rates[0] < eu_rates[-1]
+    # headline ratio: ~7.7x at the top of the sweep (paper's number)
+    top_ratio = result.row_value(counts[-1], "ratio")
+    assert 6.0 < top_ratio < 9.5

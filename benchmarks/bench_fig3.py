@@ -1,0 +1,28 @@
+"""Figure 3 bench — fault-tolerance overhead at max throughput (§7.1).
+
+Regenerates the normalized comparison of fault-tolerant Eunomia (replica
+count sweep) against plain and chain-replicated sequencers.  Paper shapes
+asserted: Eunomia's FT penalty is small (~9%) and independent of the
+replica count — replicas never coordinate — while chain replication costs
+the sequencer about a third of its ceiling.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig3
+
+
+def bench_fig3_ft_overhead(benchmark):
+    params = fig3.Fig3Params.quick()
+    result = run_figure(benchmark, fig3, params)
+
+    ft_norms = [result.row_value(f"eunomia {r}-FT", "normalized")
+                for r in params.replica_counts]
+    # small overhead...
+    assert all(0.85 < n <= 1.0 for n in ft_norms)
+    # ...independent of the replica count
+    assert max(ft_norms) - min(ft_norms) < 0.05
+
+    seq = result.row_value("sequencer non-FT", "ops_s")
+    chain = result.row_value(f"sequencer {params.chain_length}-FT", "ops_s")
+    assert 0.60 < chain / seq < 0.75  # paper: −33%

@@ -1,0 +1,30 @@
+"""Figure 4 bench — impact of replica failures on Eunomia (§7.1).
+
+Regenerates the crash timeline: the leader dies at t₁, its successor at t₂.
+Paper shapes asserted: 1-FT goes to zero after the first crash; 2-FT
+survives the first (recovering to ~95%+) and dies at the second; 3-FT
+survives both.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig4
+
+
+def bench_fig4_failure_timeline(benchmark):
+    result = run_figure(benchmark, fig4, fig4.Fig4Params.quick())
+
+    one = {c: result.row_value("1-FT", c)
+           for c in ("before_crash1", "between_crashes", "after_crash2")}
+    two = {c: result.row_value("2-FT", c)
+           for c in ("before_crash1", "between_crashes", "after_crash2")}
+    three = {c: result.row_value("3-FT", c)
+             for c in ("before_crash1", "between_crashes", "after_crash2")}
+
+    for row in (one, two, three):
+        assert row["before_crash1"] > 0.9          # healthy start
+    assert one["between_crashes"] < 0.05           # 1-FT dead after t1
+    assert two["between_crashes"] > 0.9            # 2-FT failed over
+    assert two["after_crash2"] < 0.05              # ...and died at t2
+    assert three["between_crashes"] > 0.9          # 3-FT survives t1
+    assert three["after_crash2"] > 0.9             # ...and t2

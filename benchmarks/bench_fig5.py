@@ -1,0 +1,27 @@
+"""Figure 5 bench — geo-replicated throughput by workload mix (§7.2.1).
+
+Regenerates the Eventual / EunomiaKV / GentleRain / Cure comparison across
+read:write mixes.  Paper shapes asserted: the ordering
+eventual ≥ eunomia > gentlerain > cure holds on every mix, and EunomiaKV
+stays within a few percent of the eventually consistent ceiling.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig5
+
+
+def bench_fig5_geo_throughput(benchmark):
+    params = fig5.Fig5Params.quick()
+    result = run_figure(benchmark, fig5, params)
+
+    for row in result.rows:
+        label, eventual, eunomia, gentlerain, cure, drop = row
+        assert eunomia > gentlerain > cure, label
+        assert eventual >= eunomia * 0.99, label
+        assert drop > -12.0, label          # paper: −4.7% average
+
+    # the update-heavy mix hurts every causal system more
+    heavy = result.rows[0]   # 50:50
+    light = result.rows[-1]  # most read-heavy in the sweep
+    assert heavy[1] < light[1]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Event-loop and message throughput bound how much simulated traffic every
+experiment can afford; these benchmarks keep regressions visible.
+"""
+
+from repro.clocks import HybridLogicalClock, PhysicalClock
+from repro.sim import ConstantLatency, Environment, Network, Process
+
+
+def bench_event_loop_throughput(benchmark):
+    """Schedule-and-fire cost of 50k chained events."""
+
+    def run_chain():
+        env = Environment(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                env.loop.schedule(0.001, tick)
+
+        env.loop.schedule(0.001, tick)
+        env.run()
+        return count[0]
+
+    assert benchmark(run_chain) == 50_000
+
+
+def bench_network_message_round(benchmark):
+    """Ping-pong message delivery through the FIFO network (20k rounds)."""
+
+    class Pong:
+        size_bytes = 16
+
+    class Peer(Process):
+        def __init__(self, env, name, rounds):
+            super().__init__(env, name)
+            self.rounds = rounds
+            self.other = None
+
+        def on_pong(self, msg, src):
+            if self.rounds > 0:
+                self.rounds -= 1
+                self.send(self.other, Pong())
+
+    def ping_pong():
+        env = Environment(seed=1)
+        Network(env, ConstantLatency(0.0001))
+        a, b = Peer(env, "a", 10_000), Peer(env, "b", 10_000)
+        a.other, b.other = b, a
+        a.send(b, Pong())
+        env.run()
+        return env.loop.processed_events
+
+    benchmark(ping_pong)
+
+
+def bench_hybrid_clock_updates(benchmark):
+    """Alg. 2 line 5 in a tight loop (100k timestamp generations)."""
+    env = Environment(seed=1)
+    hlc = HybridLogicalClock(PhysicalClock(env, drift_ppm=25.0))
+
+    def generate():
+        dep = 0
+        for _ in range(100_000):
+            dep = hlc.update(dep - 1)
+        return dep
+
+    benchmark(generate)

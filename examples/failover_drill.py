@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Failover drill: killing Eunomia replicas under live traffic.
+
+Deploys EunomiaKV with a 3-replica fault-tolerant Eunomia in every
+datacenter, then crashes dc1's leader replica — twice — while clients keep
+writing.  The drill shows the paper's §3.3 story end to end:
+
+* partitions keep streaming updates to *all* replicas (prefix property),
+  so nothing is lost when a leader dies;
+* the Ω failure detector elects the next replica, which resumes the site
+  stabilization procedure from its own state;
+* remote datacenters deduplicate the overlap the new leader re-ships;
+* after quiescence, every datacenter converges to identical data and the
+  recorded history passes the causal-consistency checker.
+
+Run:
+    python examples/failover_drill.py
+"""
+
+from repro import EunomiaConfig, GeoSystemSpec, WorkloadSpec
+from repro.checker import CausalChecker, SessionHistory
+from repro.geo import build_eunomia_system
+from repro.metrics import windowed_rate
+
+
+def main() -> None:
+    config = EunomiaConfig(
+        fault_tolerant=True, n_replicas=3,
+        replica_alive_interval=0.25, replica_suspect_timeout=0.8,
+    )
+    spec = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=6,
+                         seed=1717)
+    history = SessionHistory()
+    system = build_eunomia_system(spec, WorkloadSpec(read_ratio=0.75),
+                                  config=config, history=history)
+    system.start()
+
+    replicas = system.datacenters[0].eunomia_replicas
+    print(f"dc1 Eunomia group: {[r.name for r in replicas]}")
+    system.env.loop.schedule_at(4.0, replicas[0].crash)
+    system.env.loop.schedule_at(10.0, replicas[1].crash)
+    print("crashing dc1's leader at t=4s and its successor at t=10s ...\n")
+
+    system.run(16.0)
+    system.quiesce(4.0)
+
+    marks = system.metrics.mark_times(replicas[0].stable_mark)
+    print("dc1 stabilization throughput (2 s windows):")
+    for t, rate in windowed_rate(marks, 0.0, 16.0, 2.0):
+        leader = "r0" if t < 4 else ("r1" if t < 10 else "r2")
+        bar = "#" * int(rate / 40)
+        print(f"  t={t:5.1f}s  {rate:7.1f} ops/s  [{leader}] {bar}")
+
+    survivor = replicas[2]
+    print(f"\nfinal dc1 leader        : {survivor.name} "
+          f"(is_leader={survivor.is_leader()})")
+    print(f"ops stabilized by group : "
+          f"{sum(r.ops_stabilized for r in replicas)}")
+    print(f"datacenters converged   : {system.converged()}")
+    violations = CausalChecker(history).check()
+    print(f"causal violations       : {len(violations)} "
+          f"over {history.total_ops} client ops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Protocol shootout: every system from the paper on one workload.
+
+Runs the identical deployment and 90:10 workload under all six protocols —
+eventual consistency, EunomiaKV, GentleRain, Cure, S-Seq, and A-Seq — and
+prints the throughput / visibility / client-latency triangle the paper's
+evaluation revolves around.  One table, the whole tradeoff space.
+
+Run:
+    python examples/protocol_shootout.py
+"""
+
+from repro import GeoSystemSpec, WorkloadSpec, build_system
+from repro.harness.report import format_table
+from repro.metrics import percentile
+
+#: eventual goes first: it is the normalization baseline.
+ORDER = ("eventual", "eunomia", "gentlerain", "cure", "sseq", "aseq")
+
+
+def main() -> None:
+    spec = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=8,
+                         seed=4242)
+    workload = WorkloadSpec(read_ratio=0.9, n_keys=1000)
+    print(f"3 DCs x {spec.partitions_per_dc} partitions, "
+          f"{workload.ratio_label()} uniform workload, 6 s runs\n")
+
+    rows = []
+    baseline = None
+    for protocol in ORDER:
+        system = build_system(protocol, spec, workload)
+        system.run(6.0)
+        thpt = system.total_throughput()
+        if protocol == "eventual":
+            baseline = thpt
+        extras = system.visibility_extra_ms(0, 1)
+        update_lat = system.metrics.sample_values("latency_ms:update")
+        system.quiesce(3.0)
+        rows.append([
+            protocol,
+            round(thpt),
+            f"{(thpt - baseline) / baseline * 100:+.1f}%",
+            round(percentile(extras, 90), 1) if extras else "-",
+            round(percentile(update_lat, 50), 2),
+            "yes" if system.converged() else "NO",
+        ])
+
+    print(format_table(
+        ["system", "ops/s", "vs eventual", "vis p90 (ms)",
+         "update p50 (ms)", "converged"],
+        rows,
+    ))
+    print(
+        "\nreading the table:"
+        "\n  * eventual    — fastest, but promises nothing about ordering"
+        "\n  * eunomia     — within a few % of eventual AND near-best"
+        " visibility: the paper's headline"
+        "\n  * gentlerain  — cheap metadata, visibility floored by the"
+        " farthest DC (~40 ms false dependencies)"
+        "\n  * cure        — better visibility than GentleRain, paid for"
+        " in per-op vector overhead"
+        "\n  * sseq        — near-optimal visibility, but the synchronous"
+        " sequencer taxes every update"
+        "\n  * aseq        — shows S-Seq's tax is purely the waiting"
+        " (same work, off the critical path; not causally safe)"
+    )
+
+
+if __name__ == "__main__":
+    main()

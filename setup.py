@@ -1,0 +1,10 @@
+"""Legacy-path shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on machines without
+the ``wheel`` package (PEP 660 editable installs need it; setup.py develop
+does not).
+"""
+
+from setuptools import setup
+
+setup()

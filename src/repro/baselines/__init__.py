@@ -1,0 +1,79 @@
+"""Every comparison system from the paper's evaluation, implemented on the
+same substrate as EunomiaKV:
+
+* :mod:`sequencer` — traditional per-DC sequencers, plain and
+  chain-replicated (§7.1's competitor);
+* :mod:`seqstore` — S-Seq and A-Seq geo-replicated stores (§2, Figure 1);
+* :mod:`gentlerain` / :mod:`cure` — global-stabilization stores over the
+  shared :mod:`gst` machinery (Figures 1, 5, 6);
+* :mod:`eventual` — the zero-overhead eventually consistent yardstick.
+
+``build_system`` dispatches to any of them (plus EunomiaKV) by name.
+"""
+
+from typing import Optional
+
+from ..geo.system import GeoSystem, GeoSystemSpec, build_eunomia_system
+from ..metrics.collector import MetricsHub
+from ..workload.generator import WorkloadSpec
+from .cure import CurePartition, build_cure_system
+from .eventual import EventualPartition, build_eventual_system
+from .gentlerain import GentleRainPartition, build_gentlerain_system
+from .gst import GstPartition, GstTimings, build_gst_system
+from .messages import (
+    ChainForward,
+    GstBroadcast,
+    GstHeartbeat,
+    GstReport,
+    SeqReply,
+    SeqRequest,
+)
+from .seqstore import SeqPartition, build_seq_system
+from .sequencer import ChainSequencerNode, Sequencer, build_chain
+
+__all__ = [
+    "Sequencer",
+    "ChainSequencerNode",
+    "build_chain",
+    "SeqPartition",
+    "build_seq_system",
+    "GstTimings",
+    "GstPartition",
+    "build_gst_system",
+    "GentleRainPartition",
+    "build_gentlerain_system",
+    "CurePartition",
+    "build_cure_system",
+    "EventualPartition",
+    "build_eventual_system",
+    "build_system",
+    "PROTOCOLS",
+    "SeqRequest",
+    "SeqReply",
+    "ChainForward",
+    "GstHeartbeat",
+    "GstReport",
+    "GstBroadcast",
+]
+
+PROTOCOLS = ("eunomia", "eventual", "gentlerain", "cure", "sseq", "aseq")
+
+
+def build_system(protocol: str, spec: GeoSystemSpec, workload: WorkloadSpec,
+                 metrics: Optional[MetricsHub] = None, **kwargs) -> GeoSystem:
+    """Uniform entry point: build any of the paper's systems by name."""
+    if protocol == "eunomia":
+        return build_eunomia_system(spec, workload, metrics=metrics, **kwargs)
+    if protocol == "eventual":
+        return build_eventual_system(spec, workload, metrics=metrics, **kwargs)
+    if protocol == "gentlerain":
+        return build_gentlerain_system(spec, workload, metrics=metrics, **kwargs)
+    if protocol == "cure":
+        return build_cure_system(spec, workload, metrics=metrics, **kwargs)
+    if protocol == "sseq":
+        return build_seq_system(spec, workload, synchronous=True,
+                                metrics=metrics, **kwargs)
+    if protocol == "aseq":
+        return build_seq_system(spec, workload, synchronous=False,
+                                metrics=metrics, **kwargs)
+    raise ValueError(f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")

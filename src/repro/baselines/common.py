@@ -1,0 +1,106 @@
+"""Shared scaffolding for the baseline system builders.
+
+All baselines deploy over the identical frame as EunomiaKV — same topology,
+same NTP-disciplined clocks, same ring, same closed-loop clients — so that
+every measured difference is attributable to the protocol (the paper makes
+the same point: GentleRain and Cure "are implemented using the codebase of
+EunomiaKV").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..calibration import Calibration
+from ..clocks.ntp import NtpSynchronizer
+from ..core.client import SessionClient
+from ..geo.system import GeoSystem, GeoSystemSpec
+from ..kvstore.ring import ConsistentHashRing
+from ..metrics.collector import MetricsHub
+from ..sim.env import Environment
+from ..sim.network import Network
+from ..workload.generator import WorkloadSpec
+
+__all__ = ["GeoFrame", "BaselineDatacenter", "build_frame", "attach_clients"]
+
+
+class GeoFrame:
+    """Environment + network + clock discipline + ring for one experiment."""
+
+    def __init__(self, env: Environment, ntp: NtpSynchronizer,
+                 ring: ConsistentHashRing, metrics: MetricsHub,
+                 spec: GeoSystemSpec):
+        self.env = env
+        self.ntp = ntp
+        self.ring = ring
+        self.metrics = metrics
+        self.spec = spec
+
+
+def build_frame(spec: GeoSystemSpec,
+                metrics: Optional[MetricsHub] = None) -> GeoFrame:
+    metrics = metrics or MetricsHub()
+    env = Environment(seed=spec.seed)
+    Network(env, spec.topology())
+    ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
+    ring = ConsistentHashRing(spec.partitions_per_dc)
+    return GeoFrame(env, ntp, ring, metrics, spec)
+
+
+class BaselineDatacenter:
+    """A datacenter handle with the interface :class:`GeoSystem` expects.
+
+    ``extras`` are non-partition processes (sequencers, receivers,
+    aggregators) that need ``start()`` at boot.
+    """
+
+    def __init__(self, dc_id: int, partitions: Sequence,
+                 extras: Sequence = ()):
+        self.dc_id = dc_id
+        self.partitions = list(partitions)
+        self.extras = list(extras)
+
+    def start(self) -> None:
+        for proc in self.partitions:
+            start = getattr(proc, "start", None)
+            if start is not None:
+                start()
+        for proc in self.extras:
+            start = getattr(proc, "start", None)
+            if start is not None:
+                start()
+
+    def _stores(self):
+        for partition in self.partitions:
+            yield partition.datastore()
+
+    def store_snapshot(self) -> dict:
+        merged: dict = {}
+        for store in self._stores():
+            merged.update(store.snapshot())
+        return merged
+
+    def fingerprint(self) -> int:
+        acc = 0
+        for store in self._stores():
+            acc ^= store.fingerprint()
+        return acc
+
+
+def attach_clients(frame: GeoFrame, workload: WorkloadSpec,
+                   datacenters: Sequence[BaselineDatacenter],
+                   n_entries: int, history=None) -> list[SessionClient]:
+    """One set of closed-loop sessions per datacenter (identical across protocols)."""
+    built = workload.build()
+    clients = []
+    for dc in datacenters:
+        for c in range(frame.spec.clients_per_dc):
+            clients.append(SessionClient(
+                frame.env, f"dc{dc.dc_id}/client{c}", dc.dc_id,
+                n_entries=n_entries, partitions=dc.partitions,
+                ring=frame.ring, workload=built,
+                calibration=frame.spec.calibration,
+                metrics=frame.metrics, think_time=workload.think_time,
+                history=history,
+            ))
+    return clients

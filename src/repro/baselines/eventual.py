@@ -1,0 +1,113 @@
+"""Eventually consistent multi-cluster store — the zero-overhead yardstick.
+
+No causal metadata at all: updates are timestamped only for convergence
+(LWW), shipped to sibling partitions, and applied the instant they arrive.
+Every causal system in this repository is measured as overhead relative to
+this baseline, exactly as the paper normalizes its Figures 1 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..calibration import Calibration
+from ..clocks.physical import PhysicalClock
+from ..core.config import EunomiaConfig
+from ..core.messages import ClientUpdate, ClientUpdateReply, RemoteData
+from ..core.partition import EunomiaPartition
+from ..geo.system import GeoSystem, GeoSystemSpec
+from ..kvstore.types import Update, Versioned
+from ..metrics.collector import MetricsHub
+from ..sim.process import CostModel, Process
+from ..workload.generator import WorkloadSpec
+from .common import BaselineDatacenter, attach_clients, build_frame
+
+__all__ = ["EventualPartition", "build_eventual_system"]
+
+
+class EventualPartition(EunomiaPartition):
+    """A partition that replicates without ordering constraints."""
+
+    def __init__(self, env, name: str, dc_id: int, index: int, n_dcs: int,
+                 clock: PhysicalClock, config: EunomiaConfig,
+                 calibration: Optional[Calibration] = None,
+                 metrics: Optional[MetricsHub] = None):
+        cal = calibration or Calibration()
+        cost_model = CostModel(costs={
+            "ClientRead": cal.cost("partition_read"),
+            "ClientUpdate": cal.cost("partition_update"),
+            "RemoteData": cal.cost("partition_apply_remote"),
+        })
+        super().__init__(env, name, dc_id, index, n_dcs, clock, config,
+                         calibration=cal, metrics=metrics,
+                         cost_model=cost_model)
+        self.zero_vts = ()  # this store exposes no causal metadata at all
+
+    def start(self) -> None:
+        # No uplink, no Eunomia: nothing periodic to run.
+        pass
+
+    def on_client_update(self, msg: ClientUpdate, src: Process) -> None:
+        ts = self.hlc.tick()
+        self._seq += 1
+        update = Update(
+            key=msg.key, value=msg.value, origin_dc=self.dc_id,
+            partition_index=self.index, seq=self._seq, ts=ts, vts=(),
+            commit_time=self.now, value_bytes=msg.value_bytes,
+        )
+        self.store.put(msg.key, Versioned(msg.value, ts, self.dc_id, ()))
+        self.local_updates += 1
+        data = RemoteData(update)
+        for sibling in self.siblings.values():
+            self.send(sibling, data)
+        self.send(src, ClientUpdateReply((), msg.request_id))
+
+    def on_remote_data(self, msg: RemoteData, src: Process) -> None:
+        # Apply immediately: eventual consistency adds zero artificial delay.
+        self._execute_remote_unordered(msg.update)
+
+    def _execute_remote_unordered(self, update: Update) -> None:
+        self.store.put(update.key, Versioned(update.value, update.ts,
+                                             update.origin_dc, update.vts))
+        self.remote_applies += 1
+        now = self.now
+        k, m = update.origin_dc, self.dc_id
+        self.metrics.point(f"vis_extra_ms:{k}->{m}", now, 0.0)
+        self.metrics.point(f"vis_total_ms:{k}->{m}", now,
+                           (now - update.commit_time) * 1e3)
+
+
+def build_eventual_system(spec: GeoSystemSpec, workload: WorkloadSpec,
+                          config: Optional[EunomiaConfig] = None,
+                          metrics: Optional[MetricsHub] = None,
+                          history=None) -> GeoSystem:
+    """Assemble the eventually consistent deployment."""
+    config = config or EunomiaConfig()
+    frame = build_frame(spec, metrics)
+    env, cal = frame.env, spec.calibration
+
+    partitions_by_dc: list[list[EventualPartition]] = []
+    for dc_id in range(spec.n_dcs):
+        rng = env.rng.stream(f"clocks/dc{dc_id}")
+        partitions_by_dc.append([
+            EventualPartition(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
+                              frame.ntp.manage(PhysicalClock.random(env, rng)),
+                              config, calibration=cal, metrics=frame.metrics)
+            for i in range(spec.partitions_per_dc)
+        ])
+
+    for m in range(spec.n_dcs):
+        for k in range(spec.n_dcs):
+            if m == k:
+                continue
+            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
+                mine.set_sibling(k, theirs)
+
+    datacenters = [
+        BaselineDatacenter(dc_id, partitions_by_dc[dc_id])
+        for dc_id in range(spec.n_dcs)
+    ]
+    clients = attach_clients(frame, workload, datacenters, n_entries=0,
+                             history=history)
+    return GeoSystem(env, spec, frame.metrics, datacenters, clients,
+                     protocol="eventual")

@@ -1,0 +1,287 @@
+"""Global-stabilization machinery shared by GentleRain and Cure.
+
+Both baselines avoid sequencers by running a periodic, datacenter-wide
+computation: each partition tracks a version vector ``VV[d]`` — the largest
+timestamp received from its sibling partition in datacenter ``d`` (advanced
+by remote updates and by periodic cross-DC heartbeats) — and periodically
+reports a local stable summary to a per-DC aggregator, which broadcasts the
+minimum back.  A remote update becomes *visible* only once the global
+summary covers it:
+
+* **GentleRain** compresses everything into one scalar GST: an update with
+  timestamp ``ts`` is visible when ``GST >= ts``.  Cheap, but the minimum
+  spans *all* datacenters, so an update from a nearby DC waits for heartbeat
+  round-trips from the farthest one (false dependencies — the 40 ms floor in
+  Figure 6 left).
+* **Cure** keeps a vector GSV (entry per DC): visibility only waits for the
+  entries the update actually depends on — better latency, heavier metadata
+  (the throughput gap between the two in Figure 5).
+
+The protocol cost is charged in two places, matching the paper's analysis:
+a per-operation metadata-handling surcharge (Cure ≈ 2× GentleRain), and a
+per-round stabilization cost at every partition — which is why shrinking the
+"clock computation interval" hurts throughput (Figure 1).
+
+:class:`GstPartition` implements the whole machinery generically over the
+summary width; the concrete flavors are thin subclasses in
+:mod:`repro.baselines.gentlerain` and :mod:`repro.baselines.cure`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..calibration import Calibration
+from ..clocks.hlc import HybridLogicalClock
+from ..clocks.physical import PhysicalClock
+from ..clocks.vector import vc_merge, vc_zero
+from ..core.config import EunomiaConfig
+from ..core.messages import (
+    ClientRead,
+    ClientReadReply,
+    ClientUpdate,
+    ClientUpdateReply,
+    RemoteData,
+)
+from ..geo.system import GeoSystem, GeoSystemSpec
+from ..kvstore.storage import VersionedStore
+from ..kvstore.types import Update, Versioned
+from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.env import Environment
+from ..sim.process import CostModel, Process
+from ..workload.generator import WorkloadSpec
+from .common import BaselineDatacenter, attach_clients, build_frame
+from .messages import GstBroadcast, GstHeartbeat, GstReport
+
+__all__ = ["GstTimings", "GstPartition", "build_gst_system"]
+
+
+@dataclass
+class GstTimings:
+    """Stabilization cadence (paper §7.2: heartbeats 10 ms, GST 5 ms)."""
+
+    heartbeat_interval: float = 0.010
+    gst_interval: float = 0.005
+
+
+class GstPartition(Process):
+    """A partition of a global-stabilization store (GentleRain/Cure core).
+
+    Subclasses define ``flavor``, the summary width (1 or M), timestamping,
+    and the release predicate.
+    """
+
+    #: overridden by subclasses
+    flavor = "gst"
+
+    def __init__(self, env: Environment, name: str, dc_id: int, index: int,
+                 n_dcs: int, clock: PhysicalClock, timings: GstTimings,
+                 summary_width: int,
+                 cost_model: CostModel,
+                 metrics: Optional[MetricsHub] = None):
+        super().__init__(env, name, site=dc_id, cost_model=cost_model)
+        self.dc_id = dc_id
+        self.index = index
+        self.n_dcs = n_dcs
+        self.timings = timings
+        self.summary_width = summary_width
+        self.metrics = metrics or NullMetrics()
+        self.clock = clock
+        self.hlc = HybridLogicalClock(clock)
+        self.visible = VersionedStore()
+        self.vv = [0] * n_dcs                  # VV[d]: max ts seen from dc d
+        self.summary = (0,) * summary_width    # GST (w=1) or GSV (w=M)
+        self.siblings: dict[int, Process] = {}
+        self.aggregator: Optional[Process] = None
+        self.local_partitions: list[Process] = []   # aggregator only
+        self._reports: dict[int, tuple] = {}        # aggregator only
+        self._pending: list = []               # flavor-specific container
+        self._pending_seq = 0
+        self.local_updates = 0
+        self.remote_applies = 0
+
+    # ------------------------------------------------------------------
+    # Wiring / lifecycle
+    # ------------------------------------------------------------------
+    def set_sibling(self, dc_id: int, partition: Process) -> None:
+        if dc_id != self.dc_id:
+            self.siblings[dc_id] = partition
+
+    @property
+    def is_aggregator(self) -> bool:
+        return self.index == 0
+
+    def lane_of(self, msg) -> str:
+        # Same background-replication lane as every other store here: remote
+        # installs must not queue behind foreground client operations.
+        if type(msg).__name__ == "RemoteData":
+            return "replication"
+        return "cpu"
+
+    def start(self) -> None:
+        self.periodic(self.timings.heartbeat_interval, self._send_heartbeats)
+        self.periodic(self.timings.gst_interval, self._report,
+                      phase=self.timings.gst_interval * 0.5)
+        if self.is_aggregator:
+            self.periodic(self.timings.gst_interval, self._aggregate,
+                          phase=self.timings.gst_interval)
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def on_client_read(self, msg: ClientRead, src: Process) -> None:
+        version = self.visible.get(msg.key)
+        if version is None:
+            reply = ClientReadReply(msg.key, None,
+                                    vc_zero(self.summary_width),
+                                    msg.request_id)
+        else:
+            reply = ClientReadReply(msg.key, version.value, version.vts,
+                                    msg.request_id)
+        self.send(src, reply)
+
+    def on_client_update(self, msg: ClientUpdate, src: Process) -> None:
+        update = self._stamp(msg)
+        self.visible.put(update.key, Versioned(update.value, update.ts,
+                                               self.dc_id, update.vts))
+        self.local_updates += 1
+        data = RemoteData(update)
+        for sibling in self.siblings.values():
+            self.send(sibling, data)
+        self.send(src, ClientUpdateReply(update.vts, msg.request_id))
+
+    def _stamp(self, msg: ClientUpdate) -> Update:
+        """Flavor-specific timestamping; must keep Property-1-style order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Replication in
+    # ------------------------------------------------------------------
+    def on_remote_data(self, msg: RemoteData, src: Process) -> None:
+        update = msg.update
+        k = update.origin_dc
+        if update.ts > self.vv[k]:
+            self.vv[k] = update.ts
+        if self._releasable(update):
+            self._install(update, arrival=self.now)
+        else:
+            self._defer(update, arrival=self.now)
+
+    def _releasable(self, update: Update) -> bool:
+        raise NotImplementedError
+
+    def _defer(self, update: Update, arrival: float) -> None:
+        """Queue an update whose visibility the summary does not yet cover."""
+        raise NotImplementedError
+
+    def _release_ready(self) -> None:
+        """Install every deferred update the new summary covers."""
+        raise NotImplementedError
+
+    def _install(self, update: Update, arrival: float) -> None:
+        self.visible.put(update.key, Versioned(update.value, update.ts,
+                                               update.origin_dc, update.vts))
+        self.remote_applies += 1
+        now = self.now
+        k, m = update.origin_dc, self.dc_id
+        self.metrics.point(f"vis_extra_ms:{k}->{m}", now,
+                           max(0.0, (now - arrival) * 1e3))
+        self.metrics.point(f"vis_total_ms:{k}->{m}", now,
+                           (now - update.commit_time) * 1e3)
+
+    # ------------------------------------------------------------------
+    # Stabilization rounds
+    # ------------------------------------------------------------------
+    def _send_heartbeats(self) -> None:
+        # Heartbeat timestamps must never run ahead of a later update's
+        # timestamp; folding the value into the hybrid clock guarantees it.
+        ts = max(self.clock.read_us(), self.hlc.last)
+        self.hlc.observe(ts)
+        beat = GstHeartbeat(self.dc_id, self.index, ts)
+        for sibling in self.siblings.values():
+            self.send(sibling, beat)
+
+    def on_gst_heartbeat(self, msg: GstHeartbeat, src: Process) -> None:
+        if msg.ts > self.vv[msg.origin_dc]:
+            self.vv[msg.origin_dc] = msg.ts
+
+    def _local_summary(self) -> tuple:
+        """The partition's contribution to the DC-wide minimum."""
+        raise NotImplementedError
+
+    def _report(self) -> None:
+        self.vv[self.dc_id] = max(self.vv[self.dc_id], self.clock.read_us())
+        self.send(self.aggregator, GstReport(self.index, self._local_summary()))
+
+    def on_gst_report(self, msg: GstReport, src: Process) -> None:
+        self._reports[msg.partition_index] = msg.value
+
+    def _aggregate(self) -> None:
+        if len(self._reports) < len(self.local_partitions):
+            return  # wait until every partition has reported once
+        values = list(self._reports.values())
+        minimum = tuple(min(v[i] for v in values)
+                        for i in range(self.summary_width))
+        broadcast = GstBroadcast(minimum)
+        for partition in self.local_partitions:
+            self.send(partition, broadcast)
+
+    def on_gst_broadcast(self, msg: GstBroadcast, src: Process) -> None:
+        merged = vc_merge(self.summary, msg.value)
+        if merged != self.summary:
+            self.summary = merged
+            self._release_ready()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def datastore(self) -> VersionedStore:
+        return self.visible
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+def build_gst_system(spec: GeoSystemSpec, workload: WorkloadSpec,
+                     partition_cls, timings: Optional[GstTimings] = None,
+                     metrics: Optional[MetricsHub] = None,
+                     history=None) -> GeoSystem:
+    """Assemble a GentleRain- or Cure-style deployment."""
+    timings = timings or GstTimings()
+    frame = build_frame(spec, metrics)
+    env = frame.env
+
+    partitions_by_dc: list[list[GstPartition]] = []
+    for dc_id in range(spec.n_dcs):
+        rng = env.rng.stream(f"clocks/dc{dc_id}")
+        partitions = [
+            partition_cls(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
+                          frame.ntp.manage(PhysicalClock.random(env, rng)),
+                          timings, calibration=spec.calibration,
+                          metrics=frame.metrics)
+            for i in range(spec.partitions_per_dc)
+        ]
+        aggregator = partitions[0]
+        aggregator.local_partitions = list(partitions)
+        for partition in partitions:
+            partition.aggregator = aggregator
+        partitions_by_dc.append(partitions)
+
+    for m in range(spec.n_dcs):
+        for k in range(spec.n_dcs):
+            if m == k:
+                continue
+            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
+                mine.set_sibling(k, theirs)
+
+    datacenters = [
+        BaselineDatacenter(dc_id, partitions_by_dc[dc_id])
+        for dc_id in range(spec.n_dcs)
+    ]
+    clients = attach_clients(frame, workload, datacenters,
+                             n_entries=partition_cls.summary_width_static(spec.n_dcs),
+                             history=history)
+    return GeoSystem(env, spec, frame.metrics, datacenters, clients,
+                     protocol=partition_cls.flavor)

@@ -1,0 +1,107 @@
+"""Wire messages of the baseline protocols (§2, §7).
+
+Sequencer traffic (S-Seq / A-Seq / chain replication) and the global
+stabilization traffic of GentleRain and Cure.  Kept separate from
+:mod:`repro.core.messages` so each protocol's footprint is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..kvstore.types import METADATA_OVERHEAD_BYTES, Update
+from ..sim.process import Process
+
+__all__ = [
+    "SeqRequest",
+    "SeqReply",
+    "ChainForward",
+    "GstHeartbeat",
+    "GstReport",
+    "GstBroadcast",
+]
+
+
+# ----------------------------------------------------------------------
+# Sequencer-based stores
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class SeqRequest:
+    """Partition → sequencer: assign the next number to this update.
+
+    Synchronous in S-Seq (the partition replies to the client only after
+    :class:`SeqReply`); fire-and-forget in A-Seq.
+    """
+
+    update: Update          # metadata only (value=None); vts = client vector
+
+    @property
+    def size_bytes(self) -> int:
+        return self.update.metadata_bytes
+
+
+@dataclass(slots=True)
+class SeqReply:
+    """Sequencer (or chain tail) → partition: the assigned vector."""
+
+    uid: Tuple[int, int, int]
+    vts: Tuple[int, ...]
+    size_bytes: int = METADATA_OVERHEAD_BYTES
+
+
+@dataclass(slots=True)
+class ChainForward:
+    """Chain replication: ordered hand-off along the sequencer chain.
+
+    The head assigns the number; every node logs it; the tail replies to the
+    original requester and ships the metadata to remote receivers.
+    """
+
+    update: Update
+    requester: Process
+
+    @property
+    def size_bytes(self) -> int:
+        return self.update.metadata_bytes
+
+
+# ----------------------------------------------------------------------
+# Global stabilization (GentleRain / Cure)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class GstHeartbeat:
+    """Sibling partition heartbeat across datacenters (every Δ_hb).
+
+    Carries the sender's current clock so the receiver's version vector
+    advances even when the sender has no updates — the ingredient that makes
+    the global stable time progress at wall-clock speed.
+    """
+
+    origin_dc: int
+    partition_index: int
+    ts: int
+    size_bytes: int = 24
+
+
+@dataclass(slots=True)
+class GstReport:
+    """Partition → local aggregator: its local stable time/vector."""
+
+    partition_index: int
+    value: Tuple[int, ...]      # 1-tuple for GentleRain, M-tuple for Cure
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self.value) + 16
+
+
+@dataclass(slots=True)
+class GstBroadcast:
+    """Aggregator → local partitions: the new GST (scalar) or GSV (vector)."""
+
+    value: Tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self.value) + 16

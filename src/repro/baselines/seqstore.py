@@ -1,0 +1,166 @@
+"""S-Seq and A-Seq: sequencer-based causally consistent stores (§2, §7).
+
+**S-Seq** mirrors SwiftCloud/ChainReaction: on every update the partition
+synchronously obtains the next sequence number from the per-DC sequencer
+*before* replying to the client.  Causality across datacenters is tracked
+with a vector of sequence numbers (one entry per DC); the sequencer ships
+the ordered metadata stream to remote receivers (shared with EunomiaKV),
+and payloads travel partition→sibling directly, exactly like EunomiaKV —
+so the only protocol difference under test is *where the ordering happens*.
+
+**A-Seq** is the paper's deliberately "bogus" variant: the partition replies
+to the client immediately and contacts the sequencer in parallel.  It does
+the same total work as S-Seq but takes the sequencer off the client's
+critical path — it exists purely to show how much of S-Seq's penalty is
+synchronous waiting (Figure 1).  A-Seq does not preserve causality and, like
+in the paper, participates only in throughput measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..calibration import Calibration
+from ..clocks.physical import PhysicalClock
+from ..core.config import EunomiaConfig
+from ..core.messages import ClientUpdate, ClientUpdateReply, RemoteData
+from ..core.partition import EunomiaPartition
+from ..geo.receiver import Receiver
+from ..geo.system import GeoSystem, GeoSystemSpec
+from ..kvstore.types import Update, Versioned
+from ..metrics.collector import MetricsHub
+from ..sim.process import CostModel, Process
+from ..workload.generator import WorkloadSpec
+from .common import BaselineDatacenter, attach_clients, build_frame
+from .messages import SeqReply, SeqRequest
+from .sequencer import Sequencer
+
+__all__ = ["SeqPartition", "build_seq_system"]
+
+
+class SeqPartition(EunomiaPartition):
+    """A partition whose updates are ordered by the local sequencer.
+
+    Inherits reads, remote-data pairing, and remote execution from
+    :class:`EunomiaPartition`; overrides the update path and never starts an
+    Eunomia uplink.
+    """
+
+    def __init__(self, env, name: str, dc_id: int, index: int, n_dcs: int,
+                 clock: PhysicalClock, config: EunomiaConfig,
+                 synchronous: bool = True,
+                 calibration: Optional[Calibration] = None,
+                 metrics: Optional[MetricsHub] = None):
+        cal = calibration or Calibration()
+        cost_model = CostModel(costs={
+            "ClientRead": cal.cost("partition_read"),
+            "ClientUpdate": (cal.cost("partition_update")
+                             + cal.cost("sseq_update_extra")),
+            "SeqReply": cal.cost("sseq_reply"),
+            "ApplyRemote": cal.cost("partition_apply_remote"),
+            "RemoteData": cal.cost("partition_remote_data"),
+        })
+        super().__init__(env, name, dc_id, index, n_dcs, clock, config,
+                         calibration=cal, metrics=metrics,
+                         cost_model=cost_model)
+        self.synchronous = synchronous
+        self.sequencer: Optional[Process] = None
+        self._awaiting: dict[tuple, tuple[Update, Process, int]] = {}
+
+    def set_sequencer(self, sequencer: Process) -> None:
+        self.sequencer = sequencer
+
+    def start(self) -> None:
+        # No Eunomia uplink: ordering happens at the sequencer.
+        pass
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    def on_client_update(self, msg: ClientUpdate, src: Process) -> None:
+        self._seq += 1
+        update = Update(
+            key=msg.key, value=msg.value, origin_dc=self.dc_id,
+            partition_index=self.index, seq=self._seq,
+            ts=0, vts=msg.client_vts,            # stamped by the sequencer
+            commit_time=self.now, value_bytes=msg.value_bytes,
+        )
+        self._awaiting[update.uid] = (update, src, msg.request_id)
+        self.send(self.sequencer, SeqRequest(replace(update, value=None)))
+        # Ship the payload immediately (as EunomiaKV does): remote partitions
+        # pair it with the sequencer-ordered metadata by uid, so the final
+        # stamp need not be known yet.  This is what gives sequencer-based
+        # designs their near-optimal visibility.
+        data = RemoteData(update)
+        for sibling in self.siblings.values():
+            self.send(sibling, data)
+        if not self.synchronous:
+            # A-Seq: answer immediately; the store is written (with a
+            # provisional version) when the assignment arrives, so the
+            # client's critical path never touches the sequencer.
+            self.send(src, ClientUpdateReply(msg.client_vts, msg.request_id))
+
+    def on_seq_reply(self, msg: SeqReply, src: Process) -> None:
+        held = self._awaiting.pop(msg.uid, None)
+        if held is None:
+            return
+        update, client, request_id = held
+        stamped = replace(update, ts=msg.vts[self.dc_id], vts=msg.vts)
+        self.store.put(stamped.key, Versioned(stamped.value, stamped.ts,
+                                              self.dc_id, stamped.vts))
+        self.local_updates += 1
+        if self.synchronous:
+            self.send(client, ClientUpdateReply(msg.vts, request_id))
+
+
+def build_seq_system(spec: GeoSystemSpec, workload: WorkloadSpec,
+                     synchronous: bool = True,
+                     config: Optional[EunomiaConfig] = None,
+                     metrics: Optional[MetricsHub] = None,
+                     history=None) -> GeoSystem:
+    """Assemble an S-Seq (``synchronous=True``) or A-Seq deployment."""
+    config = config or EunomiaConfig()
+    frame = build_frame(spec, metrics)
+    env, cal = frame.env, spec.calibration
+
+    sequencers: list[Sequencer] = []
+    receivers: list[Receiver] = []
+    partitions_by_dc: list[list[SeqPartition]] = []
+    for dc_id in range(spec.n_dcs):
+        rng = env.rng.stream(f"clocks/dc{dc_id}")
+        sequencers.append(Sequencer(env, f"dc{dc_id}/sequencer", dc_id,
+                                    calibration=cal, metrics=frame.metrics))
+        receivers.append(Receiver(env, f"dc{dc_id}/receiver", dc_id,
+                                  spec.n_dcs,
+                                  check_interval=config.receiver_check_interval,
+                                  calibration=cal, metrics=frame.metrics))
+        partitions = [
+            SeqPartition(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
+                         frame.ntp.manage(PhysicalClock.random(env, rng)),
+                         config, synchronous=synchronous, calibration=cal,
+                         metrics=frame.metrics)
+            for i in range(spec.partitions_per_dc)
+        ]
+        for partition in partitions:
+            partition.set_sequencer(sequencers[dc_id])
+        receivers[dc_id].set_partitions(frame.ring, partitions)
+        partitions_by_dc.append(partitions)
+
+    for m in range(spec.n_dcs):
+        for k in range(spec.n_dcs):
+            if m == k:
+                continue
+            sequencers[m].add_destination(receivers[k])
+            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
+                mine.set_sibling(k, theirs)
+
+    datacenters = [
+        BaselineDatacenter(dc_id, partitions_by_dc[dc_id],
+                           extras=[sequencers[dc_id], receivers[dc_id]])
+        for dc_id in range(spec.n_dcs)
+    ]
+    clients = attach_clients(frame, workload, datacenters,
+                             n_entries=spec.n_dcs, history=history)
+    protocol = "sseq" if synchronous else "aseq"
+    return GeoSystem(env, spec, frame.metrics, datacenters, clients, protocol)

@@ -1,0 +1,8 @@
+"""Consistency checking: session-guarantee verification over recorded
+client histories, plus convergence assertions (the simulator is
+deterministic, so any violation is a reproducible protocol bug)."""
+
+from .causal import CausalChecker, Violation
+from .history import OpRecord, SessionHistory
+
+__all__ = ["SessionHistory", "OpRecord", "CausalChecker", "Violation"]

@@ -1,0 +1,59 @@
+"""Execution histories for consistency checking.
+
+A :class:`SessionHistory` collects the per-client sequence of completed
+operations, each annotated with the vector timestamp the system returned
+*and* the client's session clock immediately before the operation.  The
+checker (:mod:`repro.checker.causal`) replays these sequences against the
+formal session guarantees.  Because the simulator is deterministic, a
+violation found here is a protocol bug, not a flake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = ["OpRecord", "SessionHistory"]
+
+
+@dataclass(slots=True)
+class OpRecord:
+    """One completed client operation."""
+
+    time: float
+    client: str
+    kind: str                    # "read" | "update"
+    key: Any
+    value: Any
+    vts: Tuple[int, ...]         # vector returned by the system
+    session_vts: Tuple[int, ...]  # client's clock *before* the op
+
+
+class SessionHistory:
+    """Ordered per-client operation logs."""
+
+    def __init__(self) -> None:
+        self._by_client: dict[str, list[OpRecord]] = {}
+        self.total_ops = 0
+
+    def record(self, record: OpRecord) -> None:
+        self._by_client.setdefault(record.client, []).append(record)
+        self.total_ops += 1
+
+    def clients(self) -> list[str]:
+        return sorted(self._by_client)
+
+    def session(self, client: str) -> list[OpRecord]:
+        """The client's operations in completion order."""
+        return self._by_client.get(client, [])
+
+    def all_updates(self) -> list[OpRecord]:
+        """Every update in the history (all clients), time-ordered."""
+        updates = [
+            record
+            for session in self._by_client.values()
+            for record in session
+            if record.kind == "update"
+        ]
+        updates.sort(key=lambda r: r.time)
+        return updates

@@ -1,0 +1,31 @@
+"""Clock models: physical clocks with drift, NTP discipline, hybrid logical
+clocks (the timestamp source of Algorithm 2), vector clocks (§4), and Lamport
+clocks (testing oracle)."""
+
+from .hlc import HybridLogicalClock
+from .lamport import LamportClock
+from .ntp import NtpSynchronizer
+from .physical import PhysicalClock
+from .vector import (
+    VectorClock,
+    vc_bump,
+    vc_concurrent,
+    vc_leq,
+    vc_lt,
+    vc_merge,
+    vc_zero,
+)
+
+__all__ = [
+    "PhysicalClock",
+    "HybridLogicalClock",
+    "LamportClock",
+    "NtpSynchronizer",
+    "VectorClock",
+    "vc_zero",
+    "vc_merge",
+    "vc_leq",
+    "vc_lt",
+    "vc_concurrent",
+    "vc_bump",
+]

@@ -1,0 +1,35 @@
+"""Plain Lamport logical clocks.
+
+Not used by Eunomia itself (hybrid clocks are), but kept in the library for
+two reasons: the paper's discussion (§3.2) contrasts hybrid clocks against
+purely logical ones — stabilization with logical clocks progresses only as
+fast as the *slowest* partition receives updates — and the test suite uses
+Lamport clocks as the simplest causality oracle in property tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LamportClock"]
+
+
+class LamportClock:
+    """Classic Lamport clock: integer counter with send/receive rules."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: int = 0):
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new value."""
+        self._value += 1
+        return self._value
+
+    def update(self, received: int) -> int:
+        """Advance past a received timestamp; returns the new value."""
+        self._value = max(self._value, received) + 1
+        return self._value

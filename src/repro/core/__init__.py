@@ -1,0 +1,59 @@
+"""Eunomia: the paper's primary contribution.
+
+* :class:`EunomiaService` — Algorithm 3, the unobtrusive site-wide orderer.
+* :class:`EunomiaReplica` — Algorithm 4, its fault-tolerant form (prefix
+  property + Ω leader election).
+* :class:`EunomiaPartition` — Algorithm 2 partitions with hybrid-clock
+  timestamping, batching, heartbeats, and §5's data/metadata separation.
+* :class:`SessionClient` — Algorithm 1 client sessions (vector form of §4).
+* :class:`EunomiaConfig` — protocol timing knobs.
+"""
+
+from .client import SessionClient
+from .config import EunomiaConfig
+from .election import OmegaElection
+from .messages import (
+    AddOpBatch,
+    ApplyRemote,
+    ApplyRemoteOk,
+    BatchAck,
+    ClientRead,
+    ClientReadReply,
+    ClientUpdate,
+    ClientUpdateReply,
+    PartitionHeartbeat,
+    RemoteData,
+    RemoteStableBatch,
+    ReplicaAlive,
+    StableAnnounce,
+)
+from .partition import EunomiaPartition
+from .tree import CombinedBatch, TreeRelay
+from .replica import EunomiaReplica
+from .service import EunomiaService
+from .uplink import EunomiaUplink
+
+__all__ = [
+    "EunomiaConfig",
+    "EunomiaService",
+    "EunomiaReplica",
+    "EunomiaPartition",
+    "EunomiaUplink",
+    "SessionClient",
+    "OmegaElection",
+    "TreeRelay",
+    "CombinedBatch",
+    "AddOpBatch",
+    "ApplyRemote",
+    "ApplyRemoteOk",
+    "BatchAck",
+    "ClientRead",
+    "ClientReadReply",
+    "ClientUpdate",
+    "ClientUpdateReply",
+    "PartitionHeartbeat",
+    "RemoteData",
+    "RemoteStableBatch",
+    "ReplicaAlive",
+    "StableAnnounce",
+]

@@ -1,0 +1,187 @@
+"""Wire messages of the Eunomia protocols (Algorithms 1–5).
+
+Every message is a plain ``dataclass`` with ``slots``; ``size_bytes`` feeds
+network/CPU accounting where it matters.  Names follow the paper where one
+exists (ADD_OP → :class:`AddOpBatch` because the implementation always ships
+batches, §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..kvstore.types import METADATA_OVERHEAD_BYTES, Update
+
+__all__ = [
+    "ClientRead",
+    "ClientReadReply",
+    "ClientUpdate",
+    "ClientUpdateReply",
+    "AddOpBatch",
+    "PartitionHeartbeat",
+    "BatchAck",
+    "StableAnnounce",
+    "RemoteStableBatch",
+    "RemoteData",
+    "ApplyRemote",
+    "ApplyRemoteOk",
+    "ReplicaAlive",
+]
+
+
+# ----------------------------------------------------------------------
+# Client ↔ partition (Algorithms 1 and 2, vector form of §4)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ClientRead:
+    """READ(key): fetch current value + its vector timestamp."""
+
+    key: Any
+    request_id: int = 0
+
+
+@dataclass(slots=True)
+class ClientReadReply:
+    key: Any
+    value: Any
+    vts: Tuple[int, ...]
+    request_id: int = 0
+
+
+@dataclass(slots=True)
+class ClientUpdate:
+    """UPDATE(key, value, VClock_c): write with the client's causal past."""
+
+    key: Any
+    value: Any
+    client_vts: Tuple[int, ...]
+    value_bytes: int = 0
+    request_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.value_bytes + 8 * len(self.client_vts) + METADATA_OVERHEAD_BYTES
+
+
+@dataclass(slots=True)
+class ClientUpdateReply:
+    vts: Tuple[int, ...]
+    request_id: int = 0
+
+
+# ----------------------------------------------------------------------
+# Partition → Eunomia (Algorithm 2 lines 8/12, batched per §5)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class AddOpBatch:
+    """A timestamp-ordered run of updates from one partition.
+
+    With data/metadata separation the ``ops`` carry ``value=None`` — only
+    ordering metadata flows through Eunomia.  ``resend`` marks at-least-once
+    retransmissions to fault-tolerant replicas (charged less CPU at the
+    sender: the serialized buffer is reused).
+
+    ``prev_ts`` is the timestamp of the last op of the partition's stream
+    *before* this batch: the receiving replica accepts the batch only if its
+    ``PartitionTime`` already covers ``prev_ts``.  This preserves the prefix
+    property under message loss — a gap batch is dropped whole and recovered
+    by the sender's retransmission from the acknowledged floor.
+    """
+
+    partition_index: int
+    ops: tuple[Update, ...]
+    prev_ts: int = 0
+    resend: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(op.size_bytes if op.value is not None else op.metadata_bytes
+                   for op in self.ops)
+
+
+@dataclass(slots=True)
+class PartitionHeartbeat:
+    """HEARTBEAT(p_n, Clock_n): idle partition advancing PartitionTime."""
+
+    partition_index: int
+    ts: int
+    size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class BatchAck:
+    """Replica → partition: highest contiguous timestamp seen (Alg. 4 l.5)."""
+
+    partition_index: int
+    ack_ts: int
+    size_bytes: int = 16
+
+
+# ----------------------------------------------------------------------
+# Eunomia replica coordination (Algorithm 4)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class StableAnnounce:
+    """Leader → followers: StableTime, so followers prune their buffers."""
+
+    stable_ts: int
+    size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class ReplicaAlive:
+    """Ω failure-detector heartbeat among Eunomia replicas."""
+
+    replica_id: int
+    size_bytes: int = 16
+
+
+# ----------------------------------------------------------------------
+# Geo-replication (§4, Algorithm 5)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RemoteStableBatch:
+    """Eunomia → remote receiver: a stable, totally-ordered run of updates."""
+
+    origin_dc: int
+    ops: tuple[Update, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(op.size_bytes if op.value is not None else op.metadata_bytes
+                   for op in self.ops)
+
+
+@dataclass(slots=True)
+class RemoteData:
+    """Partition → sibling partition: the update payload, shipped directly.
+
+    Part of §5's separation of data and metadata: values travel out-of-band
+    with no ordering constraints, identified by ``update.uid``.
+    """
+
+    update: Update
+
+    @property
+    def size_bytes(self) -> int:
+        return self.update.size_bytes
+
+
+@dataclass(slots=True)
+class ApplyRemote:
+    """Receiver → local partition: execute this remote update (Alg. 5 l.14)."""
+
+    update: Update
+
+    @property
+    def size_bytes(self) -> int:
+        return self.update.metadata_bytes
+
+
+@dataclass(slots=True)
+class ApplyRemoteOk:
+    """Partition → receiver: update applied (the ``ok`` of Alg. 5 l.15)."""
+
+    uid: Tuple[int, int, int]
+    size_bytes: int = 16

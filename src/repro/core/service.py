@@ -1,0 +1,189 @@
+"""The Eunomia service (Algorithm 3): unobtrusive site-wide ordering.
+
+The service never talks to clients.  It receives (batches of) timestamped
+updates and heartbeats from the datacenter's partitions, tracks the largest
+timestamp seen per partition (``PartitionTime``), and every θ seconds
+computes ``StableTime = min(PartitionTime)``.  FIFO links plus Property 2
+guarantee no partition will ever produce a smaller timestamp, so everything
+at or below ``StableTime`` can be serialized — in timestamp order, which by
+Property 1 is consistent with causality — and shipped to remote datacenters.
+
+The unstable set is a red–black tree (§6); extraction of the stable prefix
+is :meth:`repro.datastruct.opbuffer.OpBuffer.pop_stable`.
+
+CPU accounting: batch ingestion is charged through the cost model installed
+by the builder; stabilization charges a fixed round cost plus a per-op,
+per-destination propagation cost — the component the paper identifies as
+Eunomia's actual bottleneck ("the bottleneck of our Eunomia implementation
+is the propagation to other geo-locations").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..datastruct.opbuffer import OpBuffer
+from ..datastruct.rbtree import RedBlackTree
+from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.env import Environment
+from ..sim.process import CostModel, Process
+from .config import EunomiaConfig
+from .messages import AddOpBatch, PartitionHeartbeat, RemoteStableBatch
+
+__all__ = ["EunomiaService"]
+
+
+class EunomiaService(Process):
+    """Single-replica Eunomia (the non-fault-tolerant Algorithm 3)."""
+
+    def __init__(self, env: Environment, name: str, site: int,
+                 n_partitions: int, config: EunomiaConfig,
+                 propagate_op_cost: float = 0.0,
+                 stab_round_cost: float = 0.0,
+                 insert_op_cost: float = 0.0,
+                 batch_cost: float = 0.0,
+                 heartbeat_cost: float = 0.0,
+                 metrics: Optional[MetricsHub] = None,
+                 cost_model: Optional[CostModel] = None,
+                 tree_factory: Callable = RedBlackTree,
+                 stable_mark: Optional[str] = None):
+        self.insert_op_cost = insert_op_cost
+        self.batch_cost = batch_cost
+        if cost_model is None:
+            # The batch cost must be state-aware: duplicate prefixes from
+            # at-least-once retransmissions are skipped with one comparison
+            # each in a real implementation, not re-inserted — charging
+            # full insert cost for them would invent an overload collapse.
+            cost_model = CostModel(costs={
+                "AddOpBatch": self._batch_cost_of,
+                "CombinedBatch": self._combined_cost_of,
+                "PartitionHeartbeat": heartbeat_cost,
+            })
+        super().__init__(env, name, site=site, cost_model=cost_model)
+        self.n_partitions = n_partitions
+        self.config = config
+        self.propagate_op_cost = propagate_op_cost
+        self.stab_round_cost = stab_round_cost
+        self.metrics = metrics or NullMetrics()
+        self.partition_time = [0] * n_partitions
+        self.buffer = OpBuffer(tree_factory)
+        self.destinations: list[Process] = []
+        self.stable_time = 0
+        self.ops_stabilized = 0
+        #: metric name for per-op stabilization marks (throughput figures)
+        self.stable_mark = stable_mark or f"eunomia_stable:dc{site}"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_destination(self, dest: Process) -> None:
+        """Register a remote receiver (or measurement sink)."""
+        self.destinations.append(dest)
+
+    def start(self) -> None:
+        """Arm the periodic PROCESS_STABLE tick (Alg. 3 line 7)."""
+        self.after(self.config.stabilization_interval, self._stab_tick)
+
+    def _batch_cost_of(self, msg: AddOpBatch) -> float:
+        """Batch + per-*new*-op insert cost (duplicates found by bisection)."""
+        pt = self.partition_time[msg.partition_index]
+        ops = msg.ops
+        lo, hi = 0, len(ops)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ops[mid].ts <= pt:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.batch_cost + self.insert_op_cost * (len(ops) - lo)
+
+    def _combined_cost_of(self, msg) -> float:
+        """One message overhead for a whole relay window (§5 tree win)."""
+        inner = sum(self._batch_cost_of(batch) - self.batch_cost
+                    for batch in msg.batches)
+        return self.batch_cost + inner
+
+    # ------------------------------------------------------------------
+    # Ingestion (Alg. 3 lines 1–6)
+    # ------------------------------------------------------------------
+    def on_combined_batch(self, msg, src: Process) -> None:
+        """Unpack a propagation-tree window (§5).
+
+        Batches are processed before heartbeats: a heartbeat coalesced in
+        the same window never carries a timestamp below the batches' ops
+        (Alg. 2's heartbeat condition), so this order keeps PartitionTime
+        moving through every op.
+        """
+        for batch in msg.batches:
+            self.on_add_op_batch(batch, src)
+        for heartbeat in msg.heartbeats:
+            self.on_partition_heartbeat(heartbeat, src)
+
+    def on_add_op_batch(self, msg: AddOpBatch, src: Process) -> None:
+        index = msg.partition_index
+        pt = self.partition_time[index]
+        if msg.prev_ts > pt:
+            # Gap: an earlier batch from this partition was lost.  Accepting
+            # this one would advance PartitionTime past ops we never saw and
+            # break the prefix property — drop it whole; the ack below tells
+            # the sender where to retransmit from.
+            self._post_batch(msg, src)
+            return
+        for op in msg.ops:
+            if op.ts <= pt:
+                continue  # duplicate (at-least-once delivery); skip
+            pt = op.ts
+            if op.ts > self.stable_time:
+                self.buffer.add(op.ts, op.partition_index, op.seq, op)
+        self.partition_time[index] = pt
+        self._post_batch(msg, src)
+
+    def _post_batch(self, msg: AddOpBatch, src: Process) -> None:
+        """Hook for the fault-tolerant replica (acks)."""
+
+    def on_partition_heartbeat(self, msg: PartitionHeartbeat, src: Process) -> None:
+        index = msg.partition_index
+        if msg.ts > self.partition_time[index]:
+            self.partition_time[index] = msg.ts
+
+    # ------------------------------------------------------------------
+    # Stabilization (Alg. 3 lines 7–11)
+    # ------------------------------------------------------------------
+    def _stab_tick(self) -> None:
+        try:
+            self._stabilize()
+        finally:
+            self.after(self.config.stabilization_interval, self._stab_tick)
+
+    def _should_stabilize(self) -> bool:
+        """Hook: the fault-tolerant replica gates this on leadership."""
+        return True
+
+    def _stabilize(self) -> None:
+        if not self._should_stabilize():
+            return
+        stable = min(self.partition_time)
+        if stable > self.stable_time:
+            self.stable_time = stable
+        ops = self.buffer.pop_stable(self.stable_time)
+        if not ops:
+            self._post_stabilize(self.stable_time, ops)
+            return
+        cost = (self.stab_round_cost
+                + self.propagate_op_cost * len(ops) * max(1, len(self.destinations)))
+        stable_now = self.stable_time
+        self._enqueue(lambda: self._propagate(stable_now, ops), cost)
+
+    def _propagate(self, stable_ts: int, ops: list) -> None:
+        """PROCESS(StableOps): ship the ordered stable run to every site."""
+        self.ops_stabilized += len(ops)
+        now = self.now
+        for op in ops:
+            self.metrics.mark(self.stable_mark, now)
+        batch = RemoteStableBatch(self.site, tuple(ops))
+        for dest in self.destinations:
+            self.send(dest, batch)
+        self._post_stabilize(stable_ts, ops)
+
+    def _post_stabilize(self, stable_ts: int, ops: list) -> None:
+        """Hook: the fault-tolerant leader announces StableTime here."""

@@ -1,0 +1,226 @@
+"""The partition → Eunomia shipping lane (Alg. 2 lines 8–12, §3.3, §5).
+
+Every Eunomia-aware partition (and the §7.1 partition emulators) owns an
+:class:`EunomiaUplink`, which encapsulates:
+
+* **batching** (§5): locally committed updates accumulate and are shipped
+  once per ``batch_interval`` — off the client's critical path, which is
+  precisely why Eunomia can batch while sequencers cannot;
+* **heartbeats** (Alg. 2 lines 10–12): when the partition has been idle for
+  Δ and its physical clock has caught up with the hybrid clock, a heartbeat
+  advances ``PartitionTime`` at the service;
+* **fault-tolerant delivery** (Alg. 4, prefix property): with
+  ``fault_tolerant=True`` the uplink tracks, per replica, the highest
+  acknowledged timestamp (``Ack_n[f]``) and retransmits the unacknowledged
+  suffix every interval — at-least-once delivery over lossy links, with
+  resends charged almost no sender CPU (the serialized run is reused).
+
+The straggler experiment (Figure 7) works by inflating the *host's*
+``batch_interval`` attribute, which the uplink re-reads before every tick.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from ..clocks.hlc import HybridLogicalClock
+from ..clocks.physical import PhysicalClock
+from ..kvstore.types import Update
+from ..sim.process import Process
+from .config import EunomiaConfig
+from .messages import AddOpBatch, BatchAck, PartitionHeartbeat
+
+__all__ = ["EunomiaUplink"]
+
+
+class EunomiaUplink:
+    """Batching/ack/heartbeat state machine bound to a host process.
+
+    The host must expose a mutable ``batch_interval`` attribute (seconds).
+    """
+
+    def __init__(self, host: Process, partition_index: int,
+                 config: EunomiaConfig, hlc: HybridLogicalClock,
+                 clock: PhysicalClock, op_cost: float, batch_cost: float):
+        self.host = host
+        self.partition_index = partition_index
+        self.config = config
+        self.hlc = hlc
+        self.clock = clock
+        self.op_cost = op_cost
+        self.batch_cost = batch_cost
+        self.replicas: list[Process] = []
+        self._pending: list[Update] = []       # ascending ts (hlc is monotone)
+        self._pending_ts: list[int] = []       # parallel array for bisect
+        self._ack: dict[int, int] = {}         # replica pid -> Ack_n[f]
+        self._sent: dict[int, int] = {}        # replica pid -> max ts ever sent
+        self._retx_due: dict[int, float] = {}  # replica pid -> next retx time
+        self._nonft_last_sent = 0              # stream position, non-FT mode
+        self.ops_shipped = 0
+        self.retransmissions = 0
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_replicas(self, replicas: list[Process]) -> None:
+        self.replicas = list(replicas)
+        for replica in replicas:
+            self._ack.setdefault(replica.pid, 0)
+            self._sent.setdefault(replica.pid, 0)
+            self._retx_due.setdefault(replica.pid, float("inf"))
+
+    def start(self) -> None:
+        """Arm the periodic batch/heartbeat tick."""
+        self.host.after(self.host.batch_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # Producer side (called by the host partition)
+    # ------------------------------------------------------------------
+    def record(self, op: Update) -> None:
+        """Queue a locally committed update for shipping.
+
+        Timestamps arrive in increasing order because the host's hybrid
+        clock is strictly monotone (Property 2).
+        """
+        if self._pending_ts and op.ts <= self._pending_ts[-1]:
+            raise ValueError(
+                f"non-monotone uplink timestamps: {op.ts} after "
+                f"{self._pending_ts[-1]} (Property 2 violated by host)"
+            )
+        self._pending.append(op)
+        self._pending_ts.append(op.ts)
+
+    def on_ack(self, msg: BatchAck, src: Process) -> None:
+        """Handle a replica's cumulative acknowledgement (Alg. 4 line 5)."""
+        if msg.ack_ts > self._ack.get(src.pid, 0):
+            self._ack[src.pid] = msg.ack_ts
+            # Progress resets the retransmission clock: retransmit only
+            # when a replica's acknowledgements actually stall.
+            if self._ack[src.pid] >= self._sent.get(src.pid, 0):
+                self._retx_due[src.pid] = float("inf")
+            else:
+                self._retx_due[src.pid] = (self.host.now
+                                           + self.config.resend_timeout)
+        self._prune()
+
+    # ------------------------------------------------------------------
+    # Periodic shipping
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        try:
+            self._flush()
+        finally:
+            # Re-read the interval every round: the straggler injector
+            # mutates host.batch_interval at runtime.
+            self.host.after(self.host.batch_interval, self._tick)
+
+    def _flush(self) -> None:
+        if not self.replicas:
+            return
+        if self.config.fault_tolerant:
+            for replica in self.replicas:
+                self._ship_suffix(replica)
+            self._prune()
+        else:
+            if self._pending:
+                ops = tuple(self._pending)
+                self._pending.clear()
+                self._pending_ts.clear()
+                self._transmit(self.replicas[0], ops, n_new=len(ops),
+                               prev_ts=self._nonft_last_sent)
+                self._nonft_last_sent = ops[-1].ts
+        self._maybe_heartbeat()
+
+    def _ship_suffix(self, replica: Process) -> None:
+        """Ship new ops; retransmit the unacked window only on ack stall."""
+        pid = replica.pid
+        ack = self._ack[pid]
+        sent = self._sent[pid]
+        retransmit = (ack < sent
+                      and self.host.now >= self._retx_due[pid])
+        start_from = ack if retransmit else sent
+        start = bisect.bisect_right(self._pending_ts, start_from)
+        if start >= len(self._pending):
+            return
+        end = min(len(self._pending), start + self.config.max_batch_ops)
+        ops = tuple(self._pending[start:end])
+        n_new = sum(1 for op in ops if op.ts > sent)
+        if retransmit:
+            self.retransmissions += 1
+        if ops[-1].ts > sent:
+            self._sent[pid] = ops[-1].ts
+        # Arm the stall timer for the *oldest* unacked transmission: only
+        # when idle (nothing was outstanding) or when the timer just fired.
+        # Re-arming on every send would let a steady stream of new batches
+        # postpone recovery of a lost one indefinitely.
+        if retransmit or self._retx_due[pid] == float("inf"):
+            self._retx_due[pid] = self.host.now + self.config.resend_timeout
+        self._transmit(replica, ops, n_new, prev_ts=start_from)
+
+    def _transmit(self, replica: Process, ops: tuple, n_new: int,
+                  prev_ts: int = 0) -> None:
+        batch = AddOpBatch(self.partition_index, ops, prev_ts=prev_ts,
+                           resend=(n_new == 0))
+        cost = self.batch_cost + self.op_cost * n_new
+        self.ops_shipped += n_new
+        self.host._enqueue(lambda: self.host.send(replica, batch), cost)
+
+    def _prune(self) -> None:
+        """Drop the prefix acknowledged by *every* replica."""
+        if not self._ack or not self._pending:
+            return
+        min_ack = min(self._ack.values())
+        cut = bisect.bisect_right(self._pending_ts, min_ack)
+        if cut:
+            del self._pending[:cut]
+            del self._pending_ts[:cut]
+
+    def _maybe_heartbeat(self) -> None:
+        """Alg. 2 lines 10–12, applied per replica.
+
+        A heartbeat is sent to replicas with no outstanding ops when the
+        physical clock has moved Δ past the last issued timestamp.  The
+        hybrid clock observes the heartbeat timestamp so that any later
+        update is tagged strictly greater (keeps Property 2 intact).
+        """
+        clock_now = self.clock.read_us()
+        delta_us = int(self.config.heartbeat_interval * 1e6)
+        if clock_now < self.hlc.last + delta_us:
+            return
+        targets = []
+        if self.config.fault_tolerant:
+            last_ts = self._pending_ts[-1] if self._pending_ts else 0
+            for replica in self.replicas:
+                if self._ack[replica.pid] >= last_ts:  # nothing outstanding
+                    targets.append(replica)
+        elif not self._pending:
+            targets = self.replicas[:1]
+        if not targets:
+            return
+        self.hlc.observe(clock_now)
+        beat = PartitionHeartbeat(self.partition_index, clock_now)
+        self.heartbeats_sent += len(targets)
+
+        def transmit() -> None:
+            for replica in targets:
+                self.host.send(replica, beat)
+
+        # Route through the host's service queue: batch transmissions are
+        # queued there too, and a heartbeat sent directly would overtake a
+        # still-queued batch on the wire, making the service's
+        # PartitionTime jump past the batch's timestamps (Property 2 break
+        # from the service's perspective — its dedup would then discard
+        # the batch).  Queue order preserves send order, and FIFO links
+        # preserve it on the wire.
+        self.host._enqueue(transmit, 0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def acked_ts(self, replica: Process) -> int:
+        return self._ack.get(replica.pid, 0)

@@ -1,0 +1,10 @@
+"""Self-balancing ordered structures used by the Eunomia service: the
+red–black tree the paper's implementation is built on, the AVL alternative it
+was benchmarked against (§6), and the timestamp-ordered unstable-operation
+buffer composed on top."""
+
+from .avl import AVLTree
+from .opbuffer import OpBuffer
+from .rbtree import RedBlackTree
+
+__all__ = ["RedBlackTree", "AVLTree", "OpBuffer"]

@@ -1,0 +1,230 @@
+"""AVL tree — the road not taken.
+
+§6 of the paper: "For our particular case, the red-black tree turned out to
+be more efficient than other self-balancing binary search trees such as AVL
+trees."  We keep a full AVL implementation so that the design choice can be
+reproduced as an ablation (``benchmarks/bench_trees.py`` replays Eunomia's
+insert / pop-prefix access pattern against both structures).
+
+Same interface as :class:`repro.datastruct.rbtree.RedBlackTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["AVLTree"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """Ordered map with the strict AVL balance condition."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.value
+        return default
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+
+        def rec(node: Optional[_Node]) -> _Node:
+            if node is None:
+                self._size += 1
+                return _Node(key, value)
+            if key < node.key:
+                node.left = rec(node.left)
+            elif node.key < key:
+                node.right = rec(node.right)
+            else:
+                node.value = value
+                return node
+            return _rebalance(node)
+
+        self._root = rec(self._root)
+
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raises KeyError if absent."""
+        found: list[Any] = []
+
+        def rec(node: Optional[_Node]) -> Optional[_Node]:
+            if node is None:
+                raise KeyError(key)
+            if key < node.key:
+                node.left = rec(node.left)
+            elif node.key < key:
+                node.right = rec(node.right)
+            else:
+                found.append(node.value)
+                if node.left is None:
+                    self._size -= 1
+                    return node.right
+                if node.right is None:
+                    self._size -= 1
+                    return node.left
+                successor = node.right
+                while successor.left is not None:
+                    successor = successor.left
+                node.key, node.value = successor.key, successor.value
+
+                def del_min(n: _Node) -> Optional[_Node]:
+                    if n.left is None:
+                        self._size -= 1
+                        return n.right
+                    n.left = del_min(n.left)
+                    return _rebalance(n)
+
+                node.right = del_min(node.right)
+            return _rebalance(node)
+
+        self._root = rec(self._root)
+        return found[0]
+
+    def min_item(self) -> Tuple[Any, Any]:
+        if self._root is None:
+            raise KeyError("min_item of empty tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def pop_min(self) -> Tuple[Any, Any]:
+        """Remove and return the smallest (key, value)."""
+        if self._root is None:
+            raise KeyError("pop_min of empty tree")
+        item: list[Tuple[Any, Any]] = []
+
+        def rec(node: _Node) -> Optional[_Node]:
+            if node.left is None:
+                item.append((node.key, node.value))
+                self._size -= 1
+                return node.right
+            node.left = rec(node.left)
+            return _rebalance(node)
+
+        self._root = rec(self._root)
+        return item[0]
+
+    def pop_leq(self, bound: Any) -> list:
+        """Remove every entry with ``key <= bound``; return them in order."""
+        out = []
+        while self._root is not None:
+            node = self._root
+            while node.left is not None:
+                node = node.left
+            if bound < node.key:
+                break
+            out.append(self.pop_min())
+        return out
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order iteration."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def validate(self) -> None:
+        """Assert AVL balance and BST order (tests only)."""
+
+        def walk(node: Optional[_Node], lo, hi) -> int:
+            if node is None:
+                return 0
+            if lo is not None:
+                assert lo < node.key
+            if hi is not None:
+                assert node.key < hi
+            lh = walk(node.left, lo, node.key)
+            rh = walk(node.right, node.key, hi)
+            assert abs(lh - rh) <= 1, "AVL balance violated"
+            assert node.height == 1 + max(lh, rh), "stale height"
+            return node.height
+
+        walk(self._root, None, None)
+        assert self._size == sum(1 for _ in self.items()), "size out of sync"

@@ -1,0 +1,66 @@
+"""The ordered buffer of unstable operations inside Eunomia.
+
+``Ops`` in Algorithm 3 is a *set* in the abstract protocol; the implementation
+(§6) keeps it ordered by timestamp so that FIND_STABLE is an in-order prefix
+scan.  :class:`OpBuffer` realizes that design on top of a self-balancing tree
+keyed by ``(timestamp, origin partition id, per-partition sequence)`` — the
+last two components break ties between concurrent updates from different
+partitions (the paper allows any order for equal timestamps) while keeping
+keys unique.
+
+The backing tree is pluggable (red–black by default, AVL for the ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .rbtree import RedBlackTree
+
+__all__ = ["OpBuffer"]
+
+
+class OpBuffer:
+    """Timestamp-ordered buffer with prefix extraction."""
+
+    def __init__(self, tree_factory: Callable[[], Any] = RedBlackTree):
+        self._tree = tree_factory()
+        self.total_added = 0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add(self, ts: int, origin: int, seq: int, op: Any) -> None:
+        """Buffer ``op`` under its (unique) ordering key."""
+        self._tree.insert((ts, origin, seq), op)
+        self.total_added += 1
+
+    def contains(self, ts: int, origin: int, seq: int) -> bool:
+        return (ts, origin, seq) in self._tree
+
+    def pop_stable(self, stable_ts: int) -> list:
+        """Extract every op with ``ts <= stable_ts`` in total order.
+
+        This is FIND_STABLE + removal (Alg. 3 lines 9–11): because the key's
+        first component is the timestamp, ``pop_leq((stable_ts, inf, inf))``
+        returns exactly the stable prefix, already serialized consistently
+        with causality (Property 1) with deterministic tie-breaks.
+        """
+        bound = (stable_ts, float("inf"), float("inf"))
+        return [op for _, op in self._tree.pop_leq(bound)]
+
+    def min_ts(self) -> Optional[int]:
+        """Timestamp of the oldest buffered op, or None when empty."""
+        if not self._tree:
+            return None
+        (ts, _, _), _ = self._tree.min_item()
+        return ts
+
+    def drop_stable(self, stable_ts: int) -> int:
+        """Discard the stable prefix without returning it (follower replicas).
+
+        Alg. 4 lines 13–15: when a follower learns StableTime from the
+        leader, it prunes ops known to have been processed.  Returns the
+        number of ops dropped.
+        """
+        return len(self.pop_stable(stable_ts))

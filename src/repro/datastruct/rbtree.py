@@ -1,0 +1,342 @@
+"""Red–black tree (Guibas & Sedgewick), the core of the Eunomia service.
+
+The paper (§6) reports that Eunomia's performance hinges on the structure
+holding the set of unstable operations: it must support cheap inserts (every
+local update lands here) and cheap in-order traversal of a prefix (every
+stabilization round pops all operations with timestamp ≤ StableTime).  The
+authors used a red–black tree and found it faster than AVL for their
+insert-heavy mix; we implement both (see :mod:`repro.datastruct.avl`) and
+benchmark the choice in ``benchmarks/bench_trees.py``.
+
+This is a textbook CLRS implementation with a per-tree NIL sentinel, mapping
+totally-ordered keys to values.  ``validate()`` checks the red–black
+invariants and is exercised by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["RedBlackTree"]
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: Any, value: Any, color: bool, nil: "_Node" = None):
+        self.key = key
+        self.value = value
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+        self.color = color
+
+
+class RedBlackTree:
+    """Ordered map with O(log n) insert/delete/search, O(n) ordered scan."""
+
+    def __init__(self) -> None:
+        self._nil = _Node(None, None, BLACK)
+        self._nil.left = self._nil.right = self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not self._nil
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def min_item(self) -> Tuple[Any, Any]:
+        """Smallest (key, value); raises KeyError when empty."""
+        if self._root is self._nil:
+            raise KeyError("min_item of empty tree")
+        node = self._minimum(self._root)
+        return node.key, node.value
+
+    def max_item(self) -> Tuple[Any, Any]:
+        """Largest (key, value); raises KeyError when empty."""
+        if self._root is self._nil:
+            raise KeyError("max_item of empty tree")
+        node = self._root
+        while node.right is not self._nil:
+            node = node.right
+        return node.key, node.value
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order (sorted) iteration over (key, value) pairs."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            parent = node
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                node.value = value  # overwrite existing key
+                return
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raises KeyError if absent."""
+        node = self._find(key)
+        if node is self._nil:
+            raise KeyError(key)
+        value = node.value
+        self._delete_node(node)
+        return value
+
+    def pop_min(self) -> Tuple[Any, Any]:
+        """Remove and return the smallest (key, value)."""
+        if self._root is self._nil:
+            raise KeyError("pop_min of empty tree")
+        node = self._minimum(self._root)
+        item = (node.key, node.value)
+        self._delete_node(node)
+        return item
+
+    def pop_leq(self, bound: Any) -> list:
+        """Remove every entry with ``key <= bound``; return them in order.
+
+        This is Eunomia's FIND_STABLE + removal in one call: after computing
+        ``StableTime``, the service extracts the ordered stable prefix.
+        Amortized O(log n) per extracted entry.
+        """
+        out = []
+        while self._root is not self._nil:
+            node = self._minimum(self._root)
+            if bound < node.key:
+                break
+            out.append((node.key, node.value))
+            self._delete_node(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find(self, key: Any) -> _Node:
+        node = self._root
+        while node is not self._nil:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return self._nil
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_node(self, z: _Node) -> None:
+        y = z
+        y_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        self._size -= 1
+        if y_color is BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests only)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert the red–black invariants; raises AssertionError on breach."""
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: _Node, lo: Optional[Any], hi: Optional[Any]) -> int:
+            if node is self._nil:
+                return 1
+            if lo is not None:
+                assert lo < node.key, "BST order violated (left bound)"
+            if hi is not None:
+                assert node.key < hi, "BST order violated (right bound)"
+            if node.color is RED:
+                assert node.left.color is BLACK and node.right.color is BLACK, \
+                    "red node with red child"
+            lh = walk(node.left, lo, node.key)
+            rh = walk(node.right, node.key, hi)
+            assert lh == rh, "black-height mismatch"
+            return lh + (1 if node.color is BLACK else 0)
+
+        walk(self._root, None, None)
+        assert self._size == sum(1 for _ in self.items()), "size out of sync"

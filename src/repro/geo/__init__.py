@@ -1,0 +1,14 @@
+"""Geo-replication layer: Algorithm 5 receivers, datacenter assembly, and
+the EunomiaKV system facade used by examples and the benchmark harness."""
+
+from .datacenter import Datacenter
+from .receiver import Receiver
+from .system import GeoSystem, GeoSystemSpec, build_eunomia_system
+
+__all__ = [
+    "Receiver",
+    "Datacenter",
+    "GeoSystem",
+    "GeoSystemSpec",
+    "build_eunomia_system",
+]

@@ -1,0 +1,171 @@
+"""Assembly of one EunomiaKV datacenter.
+
+A datacenter is N partitions (Alg. 2), an Eunomia service — one plain
+:class:`EunomiaService` or a replicated group of :class:`EunomiaReplica` —
+and a receiver (Alg. 5), all wired together.  ``connect`` then links
+datacenters pairwise: every Eunomia replica gains every remote receiver as
+a destination, and every partition learns its remote siblings for the §5
+direct data shipping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..calibration import Calibration
+from ..clocks.ntp import NtpSynchronizer
+from ..clocks.physical import PhysicalClock
+from ..core.config import EunomiaConfig
+from ..core.partition import EunomiaPartition
+from ..core.replica import EunomiaReplica
+from ..core.service import EunomiaService
+from ..datastruct.rbtree import RedBlackTree
+from ..kvstore.ring import ConsistentHashRing
+from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.env import Environment
+from ..sim.process import CostModel
+
+__all__ = ["Datacenter"]
+
+
+class Datacenter:
+    """One site of an EunomiaKV deployment."""
+
+    def __init__(self, env: Environment, dc_id: int, n_dcs: int,
+                 n_partitions: int, ring: ConsistentHashRing,
+                 config: EunomiaConfig,
+                 calibration: Optional[Calibration] = None,
+                 metrics: Optional[MetricsHub] = None,
+                 ntp: Optional[NtpSynchronizer] = None,
+                 tree_factory: Callable = RedBlackTree):
+        from .receiver import Receiver  # local import avoids cycle at module load
+
+        self.env = env
+        self.dc_id = dc_id
+        self.n_dcs = n_dcs
+        self.config = config
+        self.ring = ring
+        cal = calibration or Calibration()
+        self.calibration = cal
+        self.metrics = metrics or NullMetrics()
+        rng = env.rng.stream(f"clocks/dc{dc_id}")
+
+        # -- partitions -------------------------------------------------
+        self.partitions: list[EunomiaPartition] = []
+        for index in range(n_partitions):
+            clock = PhysicalClock.random(env, rng)
+            if ntp is not None:
+                ntp.manage(clock)
+            partition = EunomiaPartition(
+                env, f"dc{dc_id}/p{index}", dc_id, index, n_dcs,
+                clock, config, calibration=cal, metrics=self.metrics,
+            )
+            self.partitions.append(partition)
+
+        # -- Eunomia service (plain or replicated) -----------------------
+        self.eunomia_replicas: list[EunomiaService] = []
+        if config.fault_tolerant:
+            for rid in range(config.n_replicas):
+                replica = EunomiaReplica(
+                    env, f"dc{dc_id}/eunomia{rid}", dc_id, n_partitions,
+                    config, replica_id=rid,
+                    ack_cost=cal.overhead("eunomia_ack"),
+                    propagate_op_cost=cal.cost("eunomia_propagate_op"),
+                    stab_round_cost=cal.overhead("eunomia_stab_round"),
+                    insert_op_cost=cal.cost("eunomia_insert_op"),
+                    batch_cost=cal.overhead("eunomia_batch"),
+                    heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+                    metrics=self.metrics, tree_factory=tree_factory,
+                )
+                self.eunomia_replicas.append(replica)
+            for replica in self.eunomia_replicas:
+                replica.set_peers(self.eunomia_replicas)
+        else:
+            self.eunomia_replicas.append(EunomiaService(
+                env, f"dc{dc_id}/eunomia", dc_id, n_partitions, config,
+                propagate_op_cost=cal.cost("eunomia_propagate_op"),
+                stab_round_cost=cal.overhead("eunomia_stab_round"),
+                insert_op_cost=cal.cost("eunomia_insert_op"),
+                batch_cost=cal.overhead("eunomia_batch"),
+                heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+                metrics=self.metrics, tree_factory=tree_factory,
+            ))
+
+        # -- receiver -----------------------------------------------------
+        self.receiver = Receiver(
+            env, f"dc{dc_id}/receiver", dc_id, n_dcs,
+            check_interval=config.receiver_check_interval,
+            calibration=cal, metrics=self.metrics,
+        )
+        self.receiver.set_partitions(ring, self.partitions)
+
+        # -- §5 propagation tree (optional) -------------------------------
+        self.relays = []
+        if config.use_propagation_tree:
+            from ..core.tree import TreeRelay
+
+            groups = [self.partitions[i:i + config.tree_fanout]
+                      for i in range(0, n_partitions, config.tree_fanout)]
+            for g, group in enumerate(groups):
+                relay = TreeRelay(
+                    env, f"dc{dc_id}/relay{g}", dc_id,
+                    flush_interval=config.tree_flush_interval,
+                    forward_cost=cal.overhead("relay_forward"),
+                    flush_cost=cal.overhead("relay_flush"),
+                    metrics=self.metrics,
+                )
+                relay.set_upstream(self.eunomia_replicas)
+                for partition in group:
+                    partition.set_eunomia([relay])
+                self.relays.append(relay)
+        else:
+            for partition in self.partitions:
+                partition.set_eunomia(self.eunomia_replicas)
+
+    # ------------------------------------------------------------------
+    # Cross-datacenter wiring
+    # ------------------------------------------------------------------
+    def connect(self, other: "Datacenter") -> None:
+        """Wire this datacenter to a remote one (directional; call both ways)."""
+        if other.dc_id == self.dc_id:
+            raise ValueError("cannot connect a datacenter to itself")
+        for replica in self.eunomia_replicas:
+            replica.add_destination(other.receiver)
+        for mine, theirs in zip(self.partitions, other.partitions):
+            mine.set_sibling(other.dc_id, theirs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for partition in self.partitions:
+            partition.start()
+        for relay in self.relays:
+            relay.start()
+        for replica in self.eunomia_replicas:
+            replica.start()
+        self.receiver.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leader(self) -> EunomiaService:
+        """The replica currently believed (by itself) to lead; non-FT: the service."""
+        for replica in self.eunomia_replicas:
+            if not replica.crashed and getattr(replica, "is_leader", lambda: True)():
+                return replica
+        return self.eunomia_replicas[0]
+
+    def store_snapshot(self) -> dict:
+        """Union of all partition stores: key → (ts, origin, value)."""
+        merged: dict = {}
+        for partition in self.partitions:
+            merged.update(partition.store.snapshot())
+        return merged
+
+    def fingerprint(self) -> int:
+        """Order-independent hash of the whole datacenter's data."""
+        acc = 0
+        for partition in self.partitions:
+            acc ^= partition.store.fingerprint()
+        return acc

@@ -1,0 +1,162 @@
+"""The per-datacenter receiver (Algorithm 5).
+
+The receiver is the counterpart of remote Eunomia services: it takes their
+totally-ordered update streams and releases each update to the responsible
+local partition once causally safe.  Two conditions gate an update ``u``
+from origin ``k`` (Alg. 5 line 12):
+
+1. every earlier update from ``k`` has been applied locally — enforced by
+   applying each origin's queue strictly in order, one in flight at a time
+   (Eunomia's total order over-approximates causality within a stream, so
+   the whole prefix must be treated as a dependency);
+2. ``SiteTime_m[d] >= u.vts[d]`` for every other remote datacenter ``d`` —
+   the explicitly named cross-datacenter dependencies.
+
+Entry ``m`` (the local datacenter) needs no check: a local update's vector
+entry can only reach a client — and hence appear as a dependency — after
+the local partition stored it.
+
+Unlike Algorithm 5's single tail-recursive FLUSH, queues of *different*
+origins progress concurrently (one in-flight apply per origin); both gating
+conditions are still enforced, so the applied order is identical to some
+serialization the algorithm could produce.  Duplicate deliveries — possible
+when a new Eunomia leader re-ships the window between the last
+StableAnnounce and the crash — are filtered by timestamp against the last
+enqueued/applied position per origin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..calibration import Calibration
+from ..kvstore.ring import ConsistentHashRing
+from ..kvstore.types import Update
+from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.env import Environment
+from ..sim.process import CostModel, Process
+from ..core.messages import ApplyRemote, ApplyRemoteOk, RemoteStableBatch
+
+__all__ = ["Receiver"]
+
+
+class Receiver(Process):
+    """r_m: queues remote update streams and applies them causally."""
+
+    def __init__(self, env: Environment, name: str, dc_id: int, n_dcs: int,
+                 check_interval: float,
+                 calibration: Optional[Calibration] = None,
+                 metrics: Optional[MetricsHub] = None):
+        cal = calibration or Calibration()
+        cost_model = CostModel(costs={
+            "RemoteStableBatch":
+                lambda msg: cal.cost("receiver_enqueue_op") * len(msg.ops),
+            "ApplyRemoteOk": cal.overhead("receiver_flush"),
+        })
+        super().__init__(env, name, site=dc_id, cost_model=cost_model)
+        self.dc_id = dc_id
+        self.n_dcs = n_dcs
+        self.check_interval = check_interval
+        self.metrics = metrics or NullMetrics()
+        self.queues: dict[int, deque[Update]] = {
+            k: deque() for k in range(n_dcs) if k != dc_id
+        }
+        self.site_time = [0] * n_dcs
+        # Dedup uses the full (ts, partition, seq) order key: concurrent
+        # updates from different partitions may legally share a timestamp.
+        self._last_enqueued: list[tuple] = [(0, -1, -1)] * n_dcs
+        self._inflight: dict[int, Update] = {}   # origin -> in-flight update
+        self.ring: Optional[ConsistentHashRing] = None
+        self.partitions: list[Process] = []
+        self.applied = 0
+        self.duplicates_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_partitions(self, ring: ConsistentHashRing,
+                       partitions: list[Process]) -> None:
+        self.ring = ring
+        self.partitions = list(partitions)
+
+    def start(self) -> None:
+        # CHECK_PENDING every ρ (Alg. 5 line 3) — a safety net for updates
+        # whose dependencies were satisfied by a *different* origin's apply.
+        self.periodic(self.check_interval, self._flush_all)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def on_remote_stable_batch(self, msg: RemoteStableBatch, src: Process) -> None:
+        k = msg.origin_dc
+        queue = self.queues[k]
+        for op in msg.ops:
+            key = op.order_key()
+            if key <= self._last_enqueued[k]:
+                self.duplicates_dropped += 1
+                continue
+            self._last_enqueued[k] = key
+            queue.append(op)
+        self._try_flush(k)
+
+    # ------------------------------------------------------------------
+    # FLUSH (Alg. 5 lines 5–20, per-origin pipelined)
+    # ------------------------------------------------------------------
+    def _flush_all(self) -> None:
+        for k in self.queues:
+            self._try_flush(k)
+
+    def _try_flush(self, k: int) -> None:
+        if k in self._inflight:
+            return  # condition (1): strictly in-order within an origin
+        queue = self.queues[k]
+        if not queue:
+            return
+        update = queue[0]
+        if not self._deps_satisfied(update, k):
+            return
+        self._inflight[k] = update
+        target = self.partitions[self.ring.partition_for(update.key)]
+        self.send(target, ApplyRemote(update))
+
+    def _deps_satisfied(self, update: Update, k: int) -> bool:
+        """Condition (2): SiteTime covers every other remote entry."""
+        for d in range(self.n_dcs):
+            if d in (self.dc_id, k):
+                continue
+            if self.site_time[d] < update.vts[d]:
+                return False
+        return True
+
+    def on_apply_remote_ok(self, msg: ApplyRemoteOk, src: Process) -> None:
+        k = msg.uid[0]
+        update = self._inflight.pop(k, None)
+        if update is None or update.uid != msg.uid:
+            raise RuntimeError(
+                f"receiver {self.name}: unexpected apply ack {msg.uid}"
+            )
+        queue = self.queues[k]
+        queue.popleft()
+        # Tie-aware SiteTime advance: updates with equal timestamps are
+        # concurrent, but a remote dependency naming ts T means *some* op
+        # with vts[k] == T — only claim T once every tied op has applied.
+        # (All T-ties arrive in the same stabilization round: later rounds
+        # carry strictly larger timestamps, so the queue head is the only
+        # place a tie can still hide.)
+        ts = update.vts[k]
+        if queue and queue[0].vts[k] == ts:
+            self.site_time[k] = ts - 1
+        else:
+            self.site_time[k] = ts
+        self.applied += 1
+        # An apply may unblock heads of *other* origins (their vts[k] was
+        # the missing dependency), so rescan everything.
+        self._flush_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Updates queued but not yet applied (all origins)."""
+        return sum(len(q) for q in self.queues.values())

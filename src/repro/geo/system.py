@@ -1,0 +1,163 @@
+"""EunomiaKV: the full geo-replicated deployment (the paper's prototype).
+
+:func:`build_eunomia_system` assembles M datacenters over the paper's WAN
+topology, with NTP-disciplined drifting clocks, per-DC Eunomia services
+(optionally replicated), receivers, and closed-loop client sessions.  The
+returned :class:`GeoSystem` is the object examples and the benchmark harness
+interact with:
+
+    system = build_eunomia_system(GeoSystemSpec(seed=1), WorkloadSpec())
+    system.run(duration=10.0)
+    print(system.total_throughput())
+
+Baseline systems (:mod:`repro.baselines`) return the same facade, so every
+experiment script treats protocols uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..calibration import Calibration
+from ..clocks.ntp import NtpSynchronizer
+from ..core.client import SessionClient
+from ..core.config import EunomiaConfig
+from ..datastruct.rbtree import RedBlackTree
+from ..kvstore.ring import ConsistentHashRing
+from ..metrics import MetricsHub, steady_window, throughput
+from ..sim.env import Environment
+from ..sim.latency import RttMatrix, paper_topology
+from ..sim.network import Network
+from ..workload.generator import WorkloadSpec
+from .datacenter import Datacenter
+
+__all__ = ["GeoSystemSpec", "GeoSystem", "build_eunomia_system"]
+
+
+@dataclass
+class GeoSystemSpec:
+    """Deployment shape shared by every protocol builder."""
+
+    n_dcs: int = 3
+    partitions_per_dc: int = 8
+    clients_per_dc: int = 16
+    seed: int = 0
+    rtt: Optional[RttMatrix] = None          # default: the paper's topology
+    calibration: Calibration = field(default_factory=Calibration)
+    ntp_residual_us: float = 100.0
+
+    def topology(self) -> RttMatrix:
+        return self.rtt if self.rtt is not None else paper_topology(self.n_dcs)
+
+
+class GeoSystem:
+    """A running multi-datacenter deployment plus its measurement state."""
+
+    def __init__(self, env: Environment, spec: GeoSystemSpec,
+                 metrics: MetricsHub, datacenters: Sequence,
+                 clients: Sequence[SessionClient], protocol: str):
+        self.env = env
+        self.spec = spec
+        self.metrics = metrics
+        self.datacenters = list(datacenters)
+        self.clients = list(clients)
+        self.protocol = protocol
+        self._started = False
+        self._run_start = 0.0
+        self._run_end = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for dc in self.datacenters:
+            dc.start()
+        for client in self.clients:
+            client.start()
+
+    def run(self, duration: float) -> None:
+        """Start (if needed) and advance the simulation ``duration`` seconds."""
+        self.start()
+        self._run_start = self.env.now
+        self.env.run(until=self.env.now + duration)
+        self._run_end = self.env.now
+
+    def quiesce(self, drain: float = 2.0) -> None:
+        """Stop clients, then run ``drain`` seconds so replication settles."""
+        for client in self.clients:
+            client.stop()
+        self.env.run(until=self.env.now + drain)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def window(self) -> tuple[float, float]:
+        """Steady-state measurement window of the last ``run`` call."""
+        return steady_window(self._run_start, self._run_end)
+
+    def total_throughput(self) -> float:
+        """Aggregate client ops/second over the steady-state window."""
+        return throughput(self.metrics.mark_times("ops"), self.window())
+
+    def dc_throughput(self, dc_id: int) -> float:
+        return throughput(self.metrics.mark_times(f"ops:dc{dc_id}"),
+                          self.window())
+
+    def visibility_extra_ms(self, origin: int, dest: int) -> list[float]:
+        """Per-update extra visibility delays (ms) within the window."""
+        lo, hi = self.window()
+        series = self.metrics.point_series(f"vis_extra_ms:{origin}->{dest}")
+        return [v for t, v in series if lo <= t <= hi]
+
+    def converged(self) -> bool:
+        """True iff all datacenters hold identical data (call after quiesce)."""
+        prints = {dc.fingerprint() for dc in self.datacenters}
+        return len(prints) == 1
+
+    def snapshots(self) -> list[dict]:
+        return [dc.store_snapshot() for dc in self.datacenters]
+
+
+def build_eunomia_system(spec: GeoSystemSpec,
+                         workload: WorkloadSpec,
+                         config: Optional[EunomiaConfig] = None,
+                         metrics: Optional[MetricsHub] = None,
+                         tree_factory: Callable = RedBlackTree,
+                         history=None) -> GeoSystem:
+    """Construct a complete EunomiaKV deployment (not yet started)."""
+    config = config or EunomiaConfig()
+    config.validate()
+    metrics = metrics or MetricsHub()
+    env = Environment(seed=spec.seed)
+    Network(env, spec.topology())
+    ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
+    ring = ConsistentHashRing(spec.partitions_per_dc)
+
+    datacenters = [
+        Datacenter(env, dc_id, spec.n_dcs, spec.partitions_per_dc, ring,
+                   config, calibration=spec.calibration, metrics=metrics,
+                   ntp=ntp, tree_factory=tree_factory)
+        for dc_id in range(spec.n_dcs)
+    ]
+    for a in datacenters:
+        for b in datacenters:
+            if a is not b:
+                a.connect(b)
+
+    built = workload.build()
+    clients = []
+    for dc in datacenters:
+        for c in range(spec.clients_per_dc):
+            clients.append(SessionClient(
+                env, f"dc{dc.dc_id}/client{c}", dc.dc_id,
+                n_entries=spec.n_dcs, partitions=dc.partitions, ring=ring,
+                workload=built, calibration=spec.calibration,
+                metrics=metrics, think_time=workload.think_time,
+                history=history,
+            ))
+    return GeoSystem(env, spec, metrics, datacenters, clients,
+                     protocol="eunomia")

@@ -1,0 +1,29 @@
+"""Benchmark harness: §7.1 load rigs, one experiment module per paper
+figure, and plain-text reporting.  ``python -m repro.harness --all``
+regenerates the full evaluation."""
+
+from .experiment import run_geo, visibility_p
+from .figures import FIGURES
+from .loadgen import (
+    PartitionEmulator,
+    RemoteSink,
+    SequencerLoadClient,
+    ServiceRig,
+    build_eunomia_rig,
+    build_sequencer_rig,
+)
+from .report import FigureResult, format_table
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "format_table",
+    "run_geo",
+    "visibility_p",
+    "PartitionEmulator",
+    "SequencerLoadClient",
+    "RemoteSink",
+    "ServiceRig",
+    "build_eunomia_rig",
+    "build_sequencer_rig",
+]

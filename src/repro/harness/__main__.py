@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+    python -m repro.harness --figure 2          # quick parameters
+    python -m repro.harness --figure 6 --full   # paper-shaped parameters
+    python -m repro.harness --all --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the evaluation figures of the Eunomia paper "
+                    "(Gunawardhana et al., USENIX ATC'17).",
+    )
+    parser.add_argument("--figure", type=int, choices=sorted(FIGURES),
+                        help="which figure to regenerate")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every figure")
+    parser.add_argument("--full", action="store_true",
+                        help="use full parameters (slower) instead of the "
+                             "quick defaults")
+    args = parser.parse_args(argv)
+
+    if not args.all and args.figure is None:
+        parser.error("pick --figure N or --all")
+    targets = sorted(FIGURES) if args.all else [args.figure]
+
+    for number in targets:
+        module = FIGURES[number]
+        params_cls = getattr(module, f"Fig{number}Params")
+        params = params_cls() if args.full else params_cls.quick()
+        started = time.time()
+        result = module.run(params)
+        elapsed = time.time() - started
+        print(result.render_text())
+        print(f"[figure {number} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

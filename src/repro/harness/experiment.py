@@ -1,0 +1,29 @@
+"""Small helpers shared by the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines import build_system
+from ..geo.system import GeoSystem, GeoSystemSpec
+from ..metrics import percentile
+from ..workload.generator import WorkloadSpec
+
+__all__ = ["run_geo", "visibility_p"]
+
+
+def run_geo(protocol: str, spec: GeoSystemSpec, workload: WorkloadSpec,
+            duration: float, drain: float = 0.0, history=None,
+            **kwargs) -> GeoSystem:
+    """Build a deployment, run it for ``duration`` seconds, maybe drain."""
+    system = build_system(protocol, spec, workload, history=history, **kwargs)
+    system.run(duration)
+    if drain > 0.0:
+        system.quiesce(drain)
+    return system
+
+
+def visibility_p(system: GeoSystem, origin: int, dest: int,
+                 pct: float) -> float:
+    """Percentile of remote-update *extra* visibility latency (ms)."""
+    return percentile(system.visibility_extra_ms(origin, dest), pct)

@@ -1,0 +1,15 @@
+"""One module per figure of the paper's evaluation (the harness registry)."""
+
+from . import fig1, fig2, fig3, fig4, fig5, fig6, fig7
+
+FIGURES = {
+    1: fig1,
+    2: fig2,
+    3: fig3,
+    4: fig4,
+    5: fig5,
+    6: fig6,
+    7: fig7,
+}
+
+__all__ = ["FIGURES", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]

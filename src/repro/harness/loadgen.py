@@ -1,0 +1,295 @@
+"""§7.1 load rigs: driving Eunomia and sequencers to saturation.
+
+The paper stretches both services by connecting load generators *directly*,
+bypassing the data store: "each client simulates a different partition in a
+multi-server datacenter", which lets the authors emulate datacenters far
+larger than their testbed.  This module reproduces that methodology:
+
+* :class:`PartitionEmulator` — an eager closed-loop producer that owns a
+  hybrid clock and a full Eunomia uplink (batching, acks, heartbeats), i.e.
+  exactly the partition-side protocol with the storage stripped away;
+* :class:`SequencerLoadClient` — the equivalent driver for a sequencer:
+  request a number, wait, request the next (the waiting *is* the point);
+* :class:`RemoteSink` — stands in for a remote datacenter's receiver, so
+  Eunomia pays its propagation cost (its real bottleneck per §7.1);
+* rig builders assembling each service with N drivers on an intra-DC
+  network.
+
+Throughput is read from the service-side marks: ``eunomia_stable:dc0``
+(ops leaving PROCESS_STABLE) and ``seq_assigned:dc0`` (numbers issued).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..calibration import Calibration
+from ..clocks.hlc import HybridLogicalClock
+from ..clocks.physical import PhysicalClock
+from ..core.config import EunomiaConfig
+from ..core.messages import BatchAck
+from ..core.replica import EunomiaReplica
+from ..core.service import EunomiaService
+from ..core.uplink import EunomiaUplink
+from ..kvstore.types import Update
+from ..metrics import MetricsHub, steady_window, throughput
+from ..sim.env import Environment
+from ..sim.latency import ConstantLatency
+from ..sim.network import Network
+from ..sim.process import CostModel, Process
+from .. import baselines
+from ..baselines.messages import SeqReply, SeqRequest
+from ..baselines.sequencer import ChainSequencerNode, Sequencer, build_chain
+
+__all__ = [
+    "RemoteSink",
+    "PartitionEmulator",
+    "SequencerLoadClient",
+    "ServiceRig",
+    "build_eunomia_rig",
+    "build_sequencer_rig",
+]
+
+INTRA_DC_LATENCY = 0.00015  # 150 µs LAN hop, as in the geo deployments
+
+
+class RemoteSink(Process):
+    """Counts ordered updates arriving from a service (a remote DC stand-in)."""
+
+    def __init__(self, env: Environment, name: str = "sink"):
+        super().__init__(env, name, site=1)
+        self.received = 0
+        self.last_batch_ts = 0
+
+    def on_remote_stable_batch(self, msg, src: Process) -> None:
+        self.received += len(msg.ops)
+        if msg.ops:
+            self.last_batch_ts = msg.ops[-1].ts
+
+
+class PartitionEmulator(Process):
+    """An eagerly-updating partition without the storage substrate."""
+
+    def __init__(self, env: Environment, name: str, index: int,
+                 config: EunomiaConfig,
+                 calibration: Optional[Calibration] = None,
+                 metrics: Optional[MetricsHub] = None):
+        super().__init__(env, name, site=0)
+        cal = calibration or Calibration()
+        self.index = index
+        self.config = config
+        self.clock = PhysicalClock.random(env, env.rng.stream(f"empart/{name}"))
+        self.hlc = HybridLogicalClock(self.clock)
+        self.batch_interval = config.batch_interval
+        self.gen_cost = cal.cost("emulated_partition_gen")
+        self.uplink = EunomiaUplink(
+            host=self, partition_index=index, config=config,
+            hlc=self.hlc, clock=self.clock,
+            op_cost=cal.cost("uplink_op"),
+            batch_cost=cal.overhead("uplink_batch"),
+        )
+        self._seq = 0
+        self._stopped = False
+        self.generated = 0
+
+    def set_eunomia(self, replicas: list[Process]) -> None:
+        self.uplink.set_replicas(replicas)
+
+    def start(self) -> None:
+        self.uplink.start()
+        self._enqueue(self._generate, self.gen_cost)
+
+    def stop(self) -> None:
+        """Stop generating load; the uplink stays alive and drains."""
+        self._stopped = True
+
+    def _generate(self) -> None:
+        if self._stopped:
+            return
+        ts = self.hlc.tick()
+        self._seq += 1
+        self.uplink.record(Update(
+            key=self._seq & 1023, value=None, origin_dc=0,
+            partition_index=self.index, seq=self._seq, ts=ts, vts=(ts,),
+            commit_time=self.now,
+        ))
+        self.generated += 1
+        self._enqueue(self._generate, self.gen_cost)
+
+    def on_batch_ack(self, msg: BatchAck, src: Process) -> None:
+        self.uplink.on_ack(msg, src)
+
+
+class SequencerLoadClient(Process):
+    """Closed-loop driver of a (possibly chain-replicated) sequencer."""
+
+    def __init__(self, env: Environment, name: str, index: int,
+                 head: Process,
+                 calibration: Optional[Calibration] = None):
+        super().__init__(env, name, site=0)
+        cal = calibration or Calibration()
+        self.index = index
+        self.head = head
+        self.gen_cost = cal.cost("emulated_partition_gen")
+        self._seq = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        self._enqueue(self._request, self.gen_cost)
+
+    def _request(self) -> None:
+        self._seq += 1
+        update = Update(
+            key=self._seq & 1023, value=None, origin_dc=0,
+            partition_index=self.index, seq=self._seq, ts=0, vts=(0,),
+            commit_time=self.now,
+        )
+        self.send(self.head, SeqRequest(update))
+
+    def on_seq_reply(self, msg: SeqReply, src: Process) -> None:
+        self.completed += 1
+        self._enqueue(self._request, self.gen_cost)
+
+
+@dataclass
+class ServiceRig:
+    """A service (Eunomia or sequencer) under synthetic partition load."""
+
+    env: Environment
+    metrics: MetricsHub
+    drivers: list
+    service_processes: list
+    sink: RemoteSink
+    throughput_mark: str
+    _run_window: tuple[float, float] = field(default=(0.0, 0.0))
+
+    def start(self) -> None:
+        for proc in self.service_processes:
+            proc.start()
+        for driver in self.drivers:
+            driver.start()
+
+    def run(self, duration: float) -> None:
+        self.start()
+        start = self.env.now
+        self.env.run(until=start + duration)
+        self._run_window = (start, self.env.now)
+
+    def throughput(self) -> float:
+        """Service ops/second over the steady-state window."""
+        window = steady_window(*self._run_window)
+        return throughput(self.metrics.mark_times(self.throughput_mark), window)
+
+    def throughput_timeline(self, width: float = 1.0) -> list[tuple[float, float]]:
+        from ..metrics import windowed_rate
+
+        start, end = self._run_window
+        return windowed_rate(self.metrics.mark_times(self.throughput_mark),
+                             start, end, width)
+
+
+def build_eunomia_rig(n_partitions: int,
+                      config: Optional[EunomiaConfig] = None,
+                      calibration: Optional[Calibration] = None,
+                      seed: int = 0,
+                      metrics: Optional[MetricsHub] = None) -> ServiceRig:
+    """Eunomia (plain or replicated per ``config``) under emulator load."""
+    config = config or EunomiaConfig()
+    config.validate()
+    cal = calibration or Calibration()
+    metrics = metrics or MetricsHub()
+    env = Environment(seed=seed)
+    Network(env, ConstantLatency(INTRA_DC_LATENCY))
+
+    services: list[EunomiaService] = []
+    if config.fault_tolerant:
+        for rid in range(config.n_replicas):
+            services.append(EunomiaReplica(
+                env, f"eunomia{rid}", 0, n_partitions, config,
+                replica_id=rid, ack_cost=cal.overhead("eunomia_ack"),
+                propagate_op_cost=cal.cost("eunomia_propagate_op"),
+                stab_round_cost=cal.overhead("eunomia_stab_round"),
+                insert_op_cost=cal.cost("eunomia_insert_op"),
+                batch_cost=cal.overhead("eunomia_batch"),
+                heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+                metrics=metrics, stable_mark="eunomia_stable:dc0",
+            ))
+        for service in services:
+            service.set_peers(services)
+    else:
+        services.append(EunomiaService(
+            env, "eunomia", 0, n_partitions, config,
+            propagate_op_cost=cal.cost("eunomia_propagate_op"),
+            stab_round_cost=cal.overhead("eunomia_stab_round"),
+            insert_op_cost=cal.cost("eunomia_insert_op"),
+            batch_cost=cal.overhead("eunomia_batch"),
+            heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+            metrics=metrics, stable_mark="eunomia_stable:dc0",
+        ))
+
+    sink = RemoteSink(env)
+    for service in services:
+        service.add_destination(sink)
+
+    drivers = [
+        PartitionEmulator(env, f"part{i}", i, config, calibration=cal,
+                          metrics=metrics)
+        for i in range(n_partitions)
+    ]
+    service_processes: list[Process] = list(services)
+    if config.use_propagation_tree:
+        from ..core.tree import TreeRelay
+
+        groups = [drivers[i:i + config.tree_fanout]
+                  for i in range(0, n_partitions, config.tree_fanout)]
+        for g, group in enumerate(groups):
+            relay = TreeRelay(env, f"relay{g}", 0,
+                              flush_interval=config.tree_flush_interval,
+                              forward_cost=cal.overhead("relay_forward"),
+                              flush_cost=cal.overhead("relay_flush"),
+                              metrics=metrics)
+            relay.set_upstream(services)
+            for driver in group:
+                driver.set_eunomia([relay])
+            service_processes.append(relay)
+    else:
+        for driver in drivers:
+            driver.set_eunomia(services)
+
+    return ServiceRig(env, metrics, drivers, service_processes, sink,
+                      throughput_mark="eunomia_stable:dc0")
+
+
+def build_sequencer_rig(n_clients: int, chain_length: int = 1,
+                        calibration: Optional[Calibration] = None,
+                        seed: int = 0,
+                        metrics: Optional[MetricsHub] = None) -> ServiceRig:
+    """A sequencer (chain-replicated if ``chain_length > 1``) under load."""
+    cal = calibration or Calibration()
+    metrics = metrics or MetricsHub()
+    env = Environment(seed=seed)
+    Network(env, ConstantLatency(INTRA_DC_LATENCY))
+
+    sink = RemoteSink(env)
+    if chain_length == 1:
+        head: Process = Sequencer(env, "sequencer", 0, calibration=cal,
+                                  metrics=metrics,
+                                  assign_mark="seq_assigned:dc0")
+        head.add_destination(sink)
+        service_processes: list[Process] = []
+    else:
+        nodes = build_chain(env, 0, chain_length, calibration=cal,
+                            metrics=metrics)
+        for node in nodes:
+            node.assign_mark = "seq_assigned:dc0"
+        nodes[-1].add_destination(sink)
+        head = nodes[0]
+        service_processes = []
+
+    drivers = [
+        SequencerLoadClient(env, f"client{i}", i, head, calibration=cal)
+        for i in range(n_clients)
+    ]
+    return ServiceRig(env, metrics, drivers, service_processes, sink,
+                      throughput_mark="seq_assigned:dc0")

@@ -1,0 +1,16 @@
+"""Key-value substrate: the update/version value types shared by every
+protocol, Riak-style consistent-hash partitioning, and per-partition
+last-writer-wins versioned storage."""
+
+from .ring import ConsistentHashRing
+from .storage import VersionedStore
+from .types import METADATA_OVERHEAD_BYTES, Update, UpdateId, Versioned
+
+__all__ = [
+    "Update",
+    "UpdateId",
+    "Versioned",
+    "VersionedStore",
+    "ConsistentHashRing",
+    "METADATA_OVERHEAD_BYTES",
+]

@@ -1,0 +1,59 @@
+"""Consistent-hash partitioning of the key space.
+
+The paper assumes "the key-space is divided into N partitions distributed
+among datacenter machines" (§3.1) — in Riak this is a consistent-hashing
+ring of vnodes.  :class:`ConsistentHashRing` reproduces that: each logical
+partition owns many virtual points on a 32-bit ring, and a key is owned by
+the partition whose point follows the key's hash.  Virtual nodes keep the
+assignment balanced (tested), and CRC32 keeps it deterministic across runs
+and processes.
+
+Sibling partitions in different datacenters use the *same* ring, so
+``partition_for(key)`` identifies the responsible partition index everywhere
+— which is what lets §5's data/metadata separation ship values directly
+partition→sibling partition.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Any
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash32(data: str) -> int:
+    return zlib.crc32(data.encode()) & 0xFFFFFFFF
+
+
+class ConsistentHashRing:
+    """Maps keys to one of ``n_partitions`` logical partitions."""
+
+    def __init__(self, n_partitions: int, vnodes_per_partition: int = 64):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+        self.vnodes_per_partition = vnodes_per_partition
+        points: list[tuple[int, int]] = []
+        for partition in range(n_partitions):
+            for vnode in range(vnodes_per_partition):
+                points.append((_hash32(f"p{partition}/v{vnode}"), partition))
+        points.sort()
+        self._ring_hashes = [h for h, _ in points]
+        self._ring_owners = [owner for _, owner in points]
+
+    def partition_for(self, key: Any) -> int:
+        """Index of the partition responsible for ``key``."""
+        h = _hash32(str(key))
+        idx = bisect.bisect_right(self._ring_hashes, h)
+        if idx == len(self._ring_hashes):
+            idx = 0  # wrap around the ring
+        return self._ring_owners[idx]
+
+    def histogram(self, keys) -> list[int]:
+        """Keys-per-partition counts (used by balance tests)."""
+        counts = [0] * self.n_partitions
+        for key in keys:
+            counts[self.partition_for(key)] += 1
+        return counts

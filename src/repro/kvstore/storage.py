@@ -1,0 +1,65 @@
+"""Per-partition versioned key-value storage.
+
+A thin, deterministic stand-in for Riak's backend: one in-memory map from key
+to the winning :class:`repro.kvstore.types.Versioned` under last-writer-wins
+(see ``Versioned.dominates``).  Local updates always win by construction
+(their timestamp exceeds everything the partition has seen); remote updates
+may lose to a causally-later or LWW-winning local version, in which case the
+store is unchanged but the apply still counts for visibility metrics.
+
+``fingerprint()`` hashes the full store state and is how the convergence
+checker asserts that all datacenters end up identical.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterator, Optional, Tuple
+
+from .types import Versioned
+
+__all__ = ["VersionedStore"]
+
+
+class VersionedStore:
+    """LWW map: key → winning version."""
+
+    def __init__(self) -> None:
+        self._data: dict[Any, Versioned] = {}
+        self.puts_applied = 0
+        self.puts_superseded = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def get(self, key: Any) -> Optional[Versioned]:
+        """Current winning version for ``key`` (None if never written)."""
+        return self._data.get(key)
+
+    def put(self, key: Any, version: Versioned) -> bool:
+        """Install ``version`` if it wins LWW; returns True if it did."""
+        current = self._data.get(key)
+        if version.dominates(current):
+            self._data[key] = version
+            self.puts_applied += 1
+            return True
+        self.puts_superseded += 1
+        return False
+
+    def items(self) -> Iterator[Tuple[Any, Versioned]]:
+        return iter(self._data.items())
+
+    def snapshot(self) -> dict[Any, Tuple[int, int, Any]]:
+        """Comparable view: key → (ts, origin_dc, value)."""
+        return {k: (v.ts, v.origin_dc, v.value) for k, v in self._data.items()}
+
+    def fingerprint(self) -> int:
+        """Order-independent hash of the store contents (convergence checks)."""
+        acc = 0
+        for key, version in self._data.items():
+            item = f"{key}|{version.ts}|{version.origin_dc}|{version.value}"
+            acc ^= zlib.crc32(item.encode())
+        return acc

@@ -1,0 +1,87 @@
+"""Measurement collection.
+
+One :class:`MetricsHub` per experiment gathers everything the paper's
+figures need:
+
+* **counters** — monotone counts (ops issued, messages, drops);
+* **samples** — unordered value distributions (operation latencies);
+* **marks** — event-time streams (one timestamp per completed op), from
+  which windowed throughput timelines are derived (Figures 4 and 7);
+* **points** — (time, value) series, e.g. visibility latency over time.
+
+Recording is O(1) appends; all statistics are computed after the run by
+:mod:`repro.metrics.summary`.  Components receive the hub by injection so
+that unit tests can run protocols without one (see :class:`NullMetrics`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+__all__ = ["MetricsHub", "NullMetrics"]
+
+
+class MetricsHub:
+    """Append-only measurement store for a single experiment run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.samples: dict[str, list[float]] = defaultdict(list)
+        self.marks: dict[str, list[float]] = defaultdict(list)
+        self.points: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    # -- recording ------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] += n
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to the sample distribution ``name``."""
+        self.samples[name].append(value)
+
+    def mark(self, name: str, time: float) -> None:
+        """Register that event ``name`` occurred at ``time``."""
+        self.marks[name].append(time)
+
+    def point(self, name: str, time: float, value: float) -> None:
+        """Append a (time, value) pair to the series ``name``."""
+        self.points[name].append((time, value))
+
+    # -- lightweight queries (heavier math lives in summary.py) ---------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def sample_values(self, name: str) -> list[float]:
+        return self.samples.get(name, [])
+
+    def mark_times(self, name: str) -> list[float]:
+        return self.marks.get(name, [])
+
+    def point_series(self, name: str) -> list[tuple[float, float]]:
+        return self.points.get(name, [])
+
+    def names(self) -> dict[str, list[str]]:
+        """All recorded metric names, grouped by kind (debug aid)."""
+        return {
+            "counters": sorted(self.counters),
+            "samples": sorted(self.samples),
+            "marks": sorted(self.marks),
+            "points": sorted(self.points),
+        }
+
+
+class NullMetrics(MetricsHub):
+    """A hub that discards everything (for tests that don't measure)."""
+
+    def count(self, name: str, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def record(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+    def mark(self, name: str, time: float) -> None:  # noqa: D102
+        pass
+
+    def point(self, name: str, time: float, value: float) -> None:  # noqa: D102
+        pass

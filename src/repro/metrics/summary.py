@@ -1,0 +1,138 @@
+"""Post-run statistics: percentiles, CDFs, windowed throughput.
+
+Mirrors the measurement methodology of §7:
+
+* throughput is ops/second over the *steady-state* window (the paper ignores
+  the first and last minute of each run; :func:`steady_window` applies the
+  same trimming proportionally);
+* visibility latencies are reported as CDFs (Figure 6) and high percentiles
+  (Figure 1 uses the 90th);
+* timelines (Figures 4 and 7) bucket events or samples into fixed windows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "cdf",
+    "mean",
+    "throughput",
+    "windowed_rate",
+    "windowed_points",
+    "steady_window",
+    "trim_marks",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input."""
+    return float(np.mean(values)) if len(values) else 0.0
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (linear interpolation); 0.0 if empty."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+def cdf(values: Sequence[float], resolution: Optional[float] = None
+        ) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, fraction ≤ value) pairs.
+
+    ``resolution`` rounds values into buckets first — the paper reports
+    visibility latencies at millisecond granularity, so Figure 6 uses
+    ``resolution=1.0`` (ms).
+    """
+    if not len(values):
+        return []
+    data = np.asarray(values, dtype=float)
+    if resolution:
+        data = np.floor(data / resolution) * resolution
+    data.sort()
+    n = len(data)
+    out: list[tuple[float, float]] = []
+    previous = None
+    for i, v in enumerate(data, 1):
+        if previous is not None and v == previous:
+            out[-1] = (v, i / n)
+        else:
+            out.append((float(v), i / n))
+            previous = v
+    return out
+
+
+def steady_window(start: float, end: float, warmup_frac: float = 0.15,
+                  cooldown_frac: float = 0.15) -> tuple[float, float]:
+    """Trim warm-up and cool-down, like the paper's first/last-minute cut."""
+    span = end - start
+    return (start + span * warmup_frac, end - span * cooldown_frac)
+
+
+def trim_marks(marks: Sequence[float], window: tuple[float, float]) -> list[float]:
+    """Event times restricted to ``window``."""
+    lo, hi = window
+    return [t for t in marks if lo <= t <= hi]
+
+
+def throughput(marks: Sequence[float], window: tuple[float, float]) -> float:
+    """Steady-state ops/second from completion-time marks."""
+    lo, hi = window
+    if hi <= lo:
+        return 0.0
+    return len(trim_marks(marks, window)) / (hi - lo)
+
+
+def windowed_rate(marks: Sequence[float], start: float, end: float,
+                  width: float) -> list[tuple[float, float]]:
+    """Events/second in consecutive buckets of ``width`` seconds.
+
+    Returns (bucket midpoint, rate) pairs — the Figure 4 timeline.
+    """
+    if end <= start or width <= 0:
+        return []
+    n_buckets = max(1, math.ceil((end - start) / width))
+    counts = [0] * n_buckets
+    for t in marks:
+        if start <= t < end:
+            counts[min(int((t - start) / width), n_buckets - 1)] += 1
+    return [
+        (start + (i + 0.5) * width, counts[i] / width)
+        for i in range(n_buckets)
+    ]
+
+
+def windowed_points(points: Sequence[tuple[float, float]], start: float,
+                    end: float, width: float,
+                    agg: str = "p90") -> list[tuple[float, float]]:
+    """Aggregate a (time, value) series into buckets (Figure 7 timeline).
+
+    ``agg`` is ``mean``, ``max``, or ``pNN`` (percentile).  Buckets with no
+    samples are omitted.
+    """
+    if end <= start or width <= 0:
+        return []
+    n_buckets = max(1, math.ceil((end - start) / width))
+    buckets: list[list[float]] = [[] for _ in range(n_buckets)]
+    for t, v in points:
+        if start <= t < end:
+            buckets[min(int((t - start) / width), n_buckets - 1)].append(v)
+    out = []
+    for i, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        if agg == "mean":
+            value = mean(bucket)
+        elif agg == "max":
+            value = max(bucket)
+        elif agg.startswith("p"):
+            value = percentile(bucket, float(agg[1:]))
+        else:
+            raise ValueError(f"unknown aggregation {agg!r}")
+        out.append((start + (i + 0.5) * width, value))
+    return out

@@ -1,0 +1,88 @@
+"""Failure & anomaly injection schedules.
+
+Experiments in the paper inject two kinds of trouble:
+
+* **Crashes** of Eunomia replicas (Figure 4): a replica stops at a given
+  instant; surviving replicas elect a new leader and resume stabilization.
+* **Stragglers** (Figure 7): one partition contacts its local Eunomia less
+  frequently (every 10 / 100 / 1000 ms instead of every millisecond) during a
+  window, then heals.
+
+:class:`FailureSchedule` is a declarative list of such actions bound to an
+environment; the harness figures build their timelines with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .env import Environment
+from .process import Process
+
+__all__ = ["FailureSchedule", "Straggler"]
+
+
+@dataclass
+class _Action:
+    time: float
+    fn: Callable[[], Any]
+    label: str
+
+
+class FailureSchedule:
+    """Declarative, time-ordered fault injection for one environment."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._actions: list[_Action] = []
+        self.log: list[tuple[float, str]] = []
+
+    def crash_at(self, time: float, process: Process) -> "FailureSchedule":
+        """Crash-stop ``process`` at absolute simulation time ``time``."""
+        return self.at(time, process.crash, f"crash {process.name}")
+
+    def recover_at(self, time: float, process: Process) -> "FailureSchedule":
+        """Recover ``process`` at absolute simulation time ``time``."""
+        return self.at(time, process.recover, f"recover {process.name}")
+
+    def at(self, time: float, fn: Callable[[], Any], label: str = "") -> "FailureSchedule":
+        """Run an arbitrary action at ``time`` (builder style, returns self)."""
+        self._actions.append(_Action(time, fn, label or getattr(fn, "__name__", "action")))
+        return self
+
+    def arm(self) -> None:
+        """Schedule every recorded action on the event loop."""
+        for action in self._actions:
+            def fire(a: _Action = action) -> None:
+                self.log.append((self.env.now, a.label))
+                a.fn()
+            self.env.loop.schedule_at(action.time, fire)
+
+
+@dataclass
+class Straggler:
+    """A window during which one partition's Eunomia-contact interval grows.
+
+    ``apply`` retargets any object exposing a mutable ``batch_interval``
+    attribute (Eunomia-aware partitions do).  The original interval is
+    restored when the window closes.
+    """
+
+    partition: Any
+    start: float
+    end: float
+    straggle_interval: float
+    _saved: float = field(default=0.0, init=False)
+
+    def arm(self, schedule: FailureSchedule) -> None:
+        def begin() -> None:
+            self._saved = self.partition.batch_interval
+            self.partition.batch_interval = self.straggle_interval
+
+        def heal() -> None:
+            self.partition.batch_interval = self._saved
+
+        schedule.at(self.start, begin, f"straggle {self.partition.name} "
+                                       f"@{self.straggle_interval * 1e3:.0f}ms")
+        schedule.at(self.end, heal, f"heal {self.partition.name}")

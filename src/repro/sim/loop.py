@@ -1,0 +1,164 @@
+"""Deterministic discrete-event loop.
+
+This is the heart of the simulation substrate.  Every other component
+(processes, network links, clocks, failure injectors) schedules callbacks on a
+single :class:`EventLoop`.  The loop is deterministic: events fire in
+``(time, sequence-number)`` order, where the sequence number is the order in
+which events were scheduled.  Two runs with the same seed therefore produce
+bit-identical histories, which the test suite and the causal-consistency
+checker rely on.
+
+Time is a ``float`` measured in **seconds** since the start of the run.
+Protocol-level timestamps, by contrast, are integers in microseconds (see
+:mod:`repro.clocks`); the two are related through per-process clock models so
+that clock drift can be simulated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventLoop", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the event loop (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventLoop.schedule` and can be used to
+    cancel the callback before it fires.  Cancelled events stay in the heap
+    but are skipped when popped (lazy deletion), which keeps cancellation
+    O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name} {state}>"
+
+
+class EventLoop:
+    """A priority-queue driven simulation clock.
+
+    Example
+    -------
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule(1.5, fired.append, "a")
+    >>> _ = loop.schedule(0.5, fired.append, "b")
+    >>> loop.run()
+    >>> fired
+    ['b', 'a']
+    >>> loop.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now: float = 0.0
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far (cancelled ones excluded)."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, already at t={self._now!r}"
+            )
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
+
+        When ``until`` is given the loop's clock is advanced to exactly
+        ``until`` even if the last event fired earlier, so back-to-back
+        ``run(until=...)`` calls behave like contiguous wall-clock windows.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._processed += 1
+                event.fn(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until

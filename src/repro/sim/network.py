@@ -1,0 +1,116 @@
+"""Simulated message-passing network.
+
+Provides the properties the paper's protocols assume:
+
+* **FIFO links** between any pair of processes (Eunomia's Property 2 and the
+  geo-replication layer both require FIFO channels).  With jittered latency
+  models, FIFO is enforced by never delivering a message earlier than the
+  previous one on the same (src, dst) link.
+* **Configurable loss** — globally or per link — used to exercise the
+  at-least-once / prefix-property machinery of fault-tolerant Eunomia.
+* **Partitions** — pairs (or whole processes) can be disconnected and later
+  reconnected, for failure-injection experiments.
+
+Delivery goes through the destination's service queue
+(:meth:`repro.sim.process.Process.deliver`), so a message to an overloaded
+server queues behind its backlog — the effect underlying every throughput
+result in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .env import Environment
+from .latency import ConstantLatency, LatencyModel
+from .process import Process
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Point-to-point network with FIFO links, loss, and partitions."""
+
+    def __init__(self, env: Environment, latency: Optional[LatencyModel] = None,
+                 loss_rate: float = 0.0):
+        self.env = env
+        self.latency = latency or ConstantLatency()
+        self.loss_rate = loss_rate
+        self._rng = env.rng.stream("network")
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self._link_loss: dict[tuple[int, int], float] = {}
+        self._link_extra_delay: dict[tuple[int, int], float] = {}
+        self._blocked: set[tuple[int, int]] = set()
+        self._processes: dict[int, Process] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        env.network = self
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, process: Process) -> None:
+        self._processes[process.pid] = process
+
+    def processes(self) -> list[Process]:
+        return list(self._processes.values())
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_link_loss(self, src: Process, dst: Process, rate: float) -> None:
+        """Set a loss probability for the directed link src→dst."""
+        self._link_loss[(src.pid, dst.pid)] = rate
+
+    def set_link_extra_delay(self, src: Process, dst: Process,
+                             extra_s: float) -> None:
+        """Add fixed delay on the directed link src→dst (0 restores normal).
+
+        Used to model degraded paths, e.g. a partition whose connection to
+        its local sequencer straggles (Figure 7's sequencer comparison).
+        """
+        if extra_s:
+            self._link_extra_delay[(src.pid, dst.pid)] = extra_s
+        else:
+            self._link_extra_delay.pop((src.pid, dst.pid), None)
+
+    def disconnect(self, src: Process, dst: Process, both_ways: bool = True) -> None:
+        self._blocked.add((src.pid, dst.pid))
+        if both_ways:
+            self._blocked.add((dst.pid, src.pid))
+
+    def reconnect(self, src: Process, dst: Process, both_ways: bool = True) -> None:
+        self._blocked.discard((src.pid, dst.pid))
+        if both_ways:
+            self._blocked.discard((dst.pid, src.pid))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: Process, dst: Process, msg: Any) -> None:
+        """Transmit ``msg``; it is delivered after the modelled latency.
+
+        Messages from/to crashed processes and across partitioned links are
+        silently dropped (crash-stop model).  Lost messages count in
+        ``messages_dropped``.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += getattr(msg, "size_bytes", 0)
+        key = (src.pid, dst.pid)
+        if src.crashed or key in self._blocked:
+            self.messages_dropped += 1
+            return
+        rate = self._link_loss.get(key, self.loss_rate)
+        if rate > 0.0 and self._rng.random() < rate:
+            self.messages_dropped += 1
+            return
+        delay = self.latency.delay(src, dst, self._rng)
+        delay += self._link_extra_delay.get(key, 0.0)
+        deliver_at = self.env.loop.now + delay
+        # FIFO per directed link: never overtake the previous delivery.
+        previous = self._last_delivery.get(key)
+        if previous is not None and deliver_at < previous:
+            deliver_at = previous
+        self._last_delivery[key] = deliver_at
+        self.env.loop.schedule_at(deliver_at, dst.deliver, msg, src)

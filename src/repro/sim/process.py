@@ -1,0 +1,224 @@
+"""Simulated processes with a single-server CPU service queue.
+
+Modelling CPU time is what lets the simulator reproduce the paper's
+throughput results: a traditional sequencer saturates because every client
+update costs it a slice of service time on one core, while Eunomia's
+off-critical-path handling is much cheaper per operation.  Each
+:class:`Process` therefore owns a FIFO service queue: work (delivered
+messages or periodic local tasks) is served one item at a time, each item
+occupying the process for its *service cost* before its handler runs.
+
+Handlers are discovered by naming convention: a message of class ``AddOp``
+is dispatched to ``on_add_op(msg, src)``.  Unhandled messages raise, so
+protocol typos fail loudly.
+
+Work is scheduled on named **lanes**, each an independent single server
+(defaulting to one lane, ``"cpu"``).  Storage partitions route remote-
+replication work to a ``"replication"`` lane — modelling the background
+scheduler threads real stores use — so geo-replication applies do not queue
+behind foreground client operations.  Override :meth:`Process.lane_of` to
+choose lanes per message.
+
+Crash-stop failures are supported: :meth:`Process.crash` drops everything in
+flight for the process and makes future deliveries no-ops until
+:meth:`Process.recover`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from .env import Environment
+
+__all__ = ["CostModel", "Process", "PeriodicTask"]
+
+_CAMEL_RE = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def _snake(name: str) -> str:
+    return _CAMEL_RE.sub("_", name).lower()
+
+
+class CostModel:
+    """Per-message-type CPU service costs, in seconds.
+
+    ``costs`` maps message class names to seconds — or to a callable taking
+    the message and returning seconds, for size-dependent work such as batch
+    processing.  ``default`` applies to everything else.  ``per_byte`` adds a
+    size-proportional component for messages that expose a ``size_bytes``
+    attribute (used to charge Cure for its fatter vector metadata, for
+    example).
+    """
+
+    __slots__ = ("costs", "default", "per_byte")
+
+    def __init__(self, default: float = 0.0,
+                 costs: Optional[dict[str, Any]] = None,
+                 per_byte: float = 0.0):
+        self.default = default
+        self.costs = dict(costs or {})
+        self.per_byte = per_byte
+
+    def cost_of(self, msg: Any) -> float:
+        base = self.costs.get(type(msg).__name__, self.default)
+        if callable(base):
+            base = base(msg)
+        if self.per_byte:
+            size = getattr(msg, "size_bytes", 0)
+            base += size * self.per_byte
+        return base
+
+
+class PeriodicTask:
+    """Handle for a repeating local task; ``stop()`` cancels future firings."""
+
+    __slots__ = ("_stopped", "period")
+
+    def __init__(self, period: float):
+        self.period = period
+        self._stopped = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Process:
+    """Base class for every simulated server, service, or client."""
+
+    def __init__(self, env: Environment, name: str, site: int = 0,
+                 cost_model: Optional[CostModel] = None):
+        self.env = env
+        self.name = name
+        self.site = site
+        self.pid = env.allocate_pid()
+        self.cost_model = cost_model or CostModel()
+        self.crashed = False
+        self._epoch = 0           # bumped on crash; stale callbacks are dropped
+        self._lane_busy: dict[str, float] = {}   # lane -> end of last slot
+        self._handler_cache: dict[type, Callable] = {}
+        if env.network is not None:
+            env.network.register(self)
+
+    # ------------------------------------------------------------------
+    # Time helpers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.loop.now
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any):
+        """Run ``fn`` after ``delay`` seconds (no CPU cost, crash-aware)."""
+        epoch = self._epoch
+
+        def guarded() -> None:
+            if not self.crashed and self._epoch == epoch:
+                fn(*args)
+
+        return self.env.loop.schedule(delay, guarded)
+
+    def periodic(self, period: float, fn: Callable[[], Any],
+                 cost: float = 0.0, phase: Optional[float] = None) -> PeriodicTask:
+        """Run ``fn`` every ``period`` seconds.
+
+        ``cost`` > 0 routes each firing through the service queue, charging
+        the process CPU time — this is how the periodic global-stabilization
+        work of GentleRain/Cure is made expensive.  ``phase`` staggers the
+        first firing (defaults to one full period).
+        """
+        task = PeriodicTask(period)
+        epoch = self._epoch
+
+        def fire() -> None:
+            if task.stopped or self.crashed or self._epoch != epoch:
+                return
+            if cost > 0.0:
+                self._enqueue(fn, cost)
+            else:
+                fn()
+            self.env.loop.schedule(task.period, fire)
+
+        self.env.loop.schedule(period if phase is None else phase, fire)
+        return task
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: "Process", msg: Any) -> None:
+        """Send ``msg`` to ``dst`` over the environment's network."""
+        self.env.network.send(self, dst, msg)
+
+    def lane_of(self, msg: Any) -> str:
+        """Service lane for ``msg`` (override to add background servers)."""
+        return "cpu"
+
+    def deliver(self, msg: Any, src: "Process") -> None:
+        """Called by the network at delivery time; feeds the service queue."""
+        if self.crashed:
+            return
+        self._enqueue(lambda: self._dispatch(msg, src),
+                      self.cost_model.cost_of(msg), lane=self.lane_of(msg))
+
+    def _enqueue(self, fn: Callable[[], Any], cost: float,
+                 lane: str = "cpu") -> None:
+        """Reserve a ``cost``-second slot on ``lane``, then run ``fn``."""
+        now = self.now
+        start = max(now, self._lane_busy.get(lane, 0.0))
+        complete = start + cost
+        self._lane_busy[lane] = complete
+        epoch = self._epoch
+
+        def run() -> None:
+            if not self.crashed and self._epoch == epoch:
+                fn()
+
+        self.env.loop.schedule_at(complete, run)
+
+    def _dispatch(self, msg: Any, src: "Process") -> None:
+        handler = self._handler_cache.get(type(msg))
+        if handler is None:
+            handler = getattr(self, "on_" + _snake(type(msg).__name__), None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} {self.name!r} has no handler for "
+                    f"{type(msg).__name__}"
+                )
+            self._handler_cache[type(msg)] = handler
+        handler(msg, src)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop: drop queued work and ignore deliveries until recovery."""
+        self.crashed = True
+        self._epoch += 1
+
+    def recover(self) -> None:
+        """Restart the process with an empty service queue.
+
+        Protocol state is *not* reset here; subclasses that need clean-slate
+        recovery override this and re-initialize their own fields.
+        """
+        self.crashed = False
+        self._epoch += 1
+        self._lane_busy.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy_until(self) -> float:
+        """End time of the latest reserved service window on any lane."""
+        return max(self._lane_busy.values(), default=0.0)
+
+    def utilization_horizon(self, lane: str = "cpu") -> float:
+        """Seconds of already-committed future work on ``lane``."""
+        return max(0.0, self._lane_busy.get(lane, 0.0) - self.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} site={self.site}>"

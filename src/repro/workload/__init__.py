@@ -1,0 +1,15 @@
+"""Workload generation: the Basho Bench stand-in (closed-loop sessions,
+uniform / Zipf key popularity, configurable read:update mixes)."""
+
+from .distributions import KeyDistribution, UniformKeys, ZipfKeys
+from .generator import READ, UPDATE, Workload, WorkloadSpec
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "Workload",
+    "WorkloadSpec",
+    "READ",
+    "UPDATE",
+]

@@ -1,0 +1,74 @@
+"""Key-access distributions for the workload generator.
+
+The paper's Basho Bench setup draws keys either **uniformly** or from a
+**power-law** over 100k keys (§7.2.1 "We experiment with both uniform and
+power-law key distributions").  The power-law is implemented as a Zipf
+distribution via inverse-transform sampling over a precomputed CDF, which is
+deterministic given the caller's ``random.Random`` stream (numpy's samplers
+would bypass the seeded stream and are rejection-based, i.e. draw-count
+unstable).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence
+
+__all__ = ["KeyDistribution", "UniformKeys", "ZipfKeys"]
+
+
+class KeyDistribution:
+    """Interface: draw one key id in ``[0, n_keys)``."""
+
+    n_keys: int
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformKeys(KeyDistribution):
+    """Every key equally likely."""
+
+    def __init__(self, n_keys: int):
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.n_keys = n_keys
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n_keys)
+
+
+class ZipfKeys(KeyDistribution):
+    """Zipf(s) over ``n_keys`` ranks: P(k) ∝ 1 / (k+1)^s.
+
+    ``s = 0.99`` approximates the YCSB "zipfian" default, a common stand-in
+    for the skewed access patterns of internet services.  Rank→key mapping
+    is a fixed pseudo-random permutation so hot keys spread across
+    partitions instead of clustering at low key ids.
+    """
+
+    def __init__(self, n_keys: int, s: float = 0.99, permute_seed: int = 7):
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.n_keys = n_keys
+        self.s = s
+        weights = [1.0 / (rank + 1) ** s for rank in range(n_keys)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf: list[float] = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float round-off
+        permuter = random.Random(permute_seed)
+        self._rank_to_key = list(range(n_keys))
+        permuter.shuffle(self._rank_to_key)
+
+    def sample(self, rng: random.Random) -> int:
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        return self._rank_to_key[rank]
+
+    def hottest(self, top: int = 10) -> Sequence[int]:
+        """The ``top`` most popular keys (tests / diagnostics)."""
+        return self._rank_to_key[:top]

@@ -1,0 +1,61 @@
+"""Workload specification — the Basho Bench stand-in.
+
+§7.2: fixed 100-byte binary values, 100k keys, uniform or power-law key
+choice, read:update ratios from 99:1 down to 50:50.  A :class:`Workload`
+instance is shared by all clients of an experiment (it is stateless with
+respect to the caller's RNG), and ``next()`` yields one operation at a time
+for a closed-loop session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .distributions import KeyDistribution, UniformKeys, ZipfKeys
+
+__all__ = ["WorkloadSpec", "Workload", "READ", "UPDATE"]
+
+READ = "read"
+UPDATE = "update"
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of a client workload."""
+
+    read_ratio: float = 0.9          # fraction of ops that are reads
+    n_keys: int = 1000               # paper: 100k (benches scale down)
+    distribution: str = "uniform"    # "uniform" | "zipf"
+    zipf_s: float = 0.99
+    value_bytes: int = 100           # paper: fixed 100-byte binaries
+    think_time: float = 0.0          # closed loop by default
+
+    def ratio_label(self) -> str:
+        """E.g. ``90:10`` — the paper's read:write notation."""
+        reads = round(self.read_ratio * 100)
+        return f"{reads}:{100 - reads}"
+
+    def build(self) -> "Workload":
+        if self.distribution == "uniform":
+            keys: KeyDistribution = UniformKeys(self.n_keys)
+        elif self.distribution == "zipf":
+            keys = ZipfKeys(self.n_keys, s=self.zipf_s)
+        else:
+            raise ValueError(f"unknown key distribution {self.distribution!r}")
+        return Workload(self, keys)
+
+
+class Workload:
+    """Op-by-op generator consumed by :class:`repro.core.client.SessionClient`."""
+
+    def __init__(self, spec: WorkloadSpec, keys: KeyDistribution):
+        self.spec = spec
+        self.keys = keys
+
+    def next(self, rng: random.Random) -> Tuple[str, int, int]:
+        """Return ``(kind, key, value_bytes)`` for the next operation."""
+        kind = READ if rng.random() < self.spec.read_ratio else UPDATE
+        key = self.keys.sample(rng)
+        return kind, key, self.spec.value_bytes

@@ -1,0 +1,51 @@
+"""Shared fixtures: tiny environments, networks, and deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import Calibration
+from repro.core.config import EunomiaConfig
+from repro.geo.system import GeoSystemSpec
+from repro.metrics import MetricsHub
+from repro.sim import ConstantLatency, Environment, Network
+from repro.workload import WorkloadSpec
+
+
+@pytest.fixture
+def env():
+    """A fresh deterministic environment."""
+    return Environment(seed=1234)
+
+
+@pytest.fixture
+def net(env):
+    """A zero-ish latency network attached to ``env``."""
+    return Network(env, ConstantLatency(0.0001))
+
+
+@pytest.fixture
+def metrics():
+    return MetricsHub()
+
+
+@pytest.fixture
+def small_spec():
+    """A 3-DC deployment small enough for fast integration tests."""
+    return GeoSystemSpec(n_dcs=3, partitions_per_dc=2, clients_per_dc=3,
+                         seed=99)
+
+
+@pytest.fixture
+def small_workload():
+    return WorkloadSpec(read_ratio=0.8, n_keys=64)
+
+
+@pytest.fixture
+def config():
+    return EunomiaConfig()
+
+
+@pytest.fixture
+def calibration():
+    return Calibration()

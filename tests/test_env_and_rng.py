@@ -1,0 +1,69 @@
+"""Tests for the Environment bundle and seeded RNG streams."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RngRegistry
+
+
+class TestEnvironment:
+    def test_now_tracks_loop(self, env):
+        assert env.now == 0.0
+        env.loop.schedule(1.25, lambda: None)
+        env.run()
+        assert env.now == 1.25
+
+    def test_now_us_rounds(self, env):
+        env.loop.schedule(0.0000015, lambda: None)
+        env.run()
+        assert env.now_us() == 2  # 1.5 µs rounds to 2
+
+    def test_pids_unique_and_sequential(self, env):
+        assert [env.allocate_pid() for _ in range(3)] == [0, 1, 2]
+
+    def test_run_until(self, env):
+        fired = []
+        env.loop.schedule(5.0, fired.append, 1)
+        env.run(until=1.0)
+        assert fired == []
+        env.run()
+        assert fired == [1]
+
+
+class TestRngRegistry:
+    def test_same_seed_same_streams(self):
+        a = RngRegistry(seed=42).stream("workload")
+        b = RngRegistry(seed=42).stream("workload")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("workload")
+        b = RngRegistry(seed=2).stream("workload")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(seed=1)
+        first = [reg.stream("a").random() for _ in range(10)]
+        # Interleaving draws from another stream must not perturb "a".
+        reg2 = RngRegistry(seed=1)
+        second = []
+        for _ in range(10):
+            reg2.stream("b").random()
+            second.append(reg2.stream("a").random())
+        assert first == second
+
+    def test_stream_identity_cached(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_fork_derives_independent_registry(self):
+        reg = RngRegistry(seed=1)
+        fork_a = reg.fork("dc0").stream("net")
+        fork_b = reg.fork("dc1").stream("net")
+        assert [fork_a.random() for _ in range(5)] != \
+               [fork_b.random() for _ in range(5)]
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(seed=9).fork("x").stream("s").random()
+        b = RngRegistry(seed=9).fork("x").stream("s").random()
+        assert a == b

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.loop import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(3.0, fired.append, "c")
+    loop.schedule(1.0, fired.append, "a")
+    loop.schedule(2.0, fired.append, "b")
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for label in "abcde":
+        loop.schedule(1.0, fired.append, label)
+    loop.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(2.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [2.5]
+    assert loop.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "early")
+    loop.schedule(5.0, fired.append, "late")
+    loop.run(until=2.0)
+    assert fired == ["early"]
+    assert loop.now == 2.0  # clock advances to the boundary
+    loop.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    keep = loop.schedule(1.0, fired.append, "keep")
+    drop = loop.schedule(1.0, fired.append, "drop")
+    drop.cancel()
+    loop.run()
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run()
+    assert loop.processed_events == 0
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.schedule(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_execution_fire():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            loop.schedule(1.0, chain, n + 1)
+
+    loop.schedule(0.0, chain, 0)
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_step_executes_one_event():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, 1)
+    loop.schedule(2.0, fired.append, 2)
+    assert loop.step() is True
+    assert fired == [1]
+    assert loop.step() is True
+    assert loop.step() is False
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(float(i), fired.append, i)
+    loop.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_excludes_cancelled():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    event = loop.schedule(2.0, lambda: None)
+    event.cancel()
+    assert loop.pending() == 1
+
+
+def test_loop_is_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def reenter():
+        try:
+            loop.run()
+        except SimulationError:
+            errors.append(True)
+
+    loop.schedule(1.0, reenter)
+    loop.run()
+    assert errors == [True]
+
+
+def test_determinism_same_schedule_same_history():
+    def history():
+        loop = EventLoop()
+        out = []
+        for i in range(50):
+            loop.schedule((i * 7919 % 13) / 10.0, out.append, i)
+        loop.run()
+        return out
+
+    assert history() == history()

@@ -1,0 +1,68 @@
+"""Tests for failure schedules, stragglers, and calibration semantics."""
+
+import pytest
+
+from repro.calibration import Calibration
+from repro.sim import ConstantLatency, Environment, FailureSchedule, Network, \
+    Process, Straggler
+
+
+class Dummy(Process):
+    pass
+
+
+def test_schedule_crash_and_recover(env, net):
+    proc = Dummy(env, "d")
+    schedule = FailureSchedule(env)
+    schedule.crash_at(1.0, proc).recover_at(2.0, proc)
+    schedule.arm()
+    env.run(until=1.5)
+    assert proc.crashed
+    env.run(until=2.5)
+    assert not proc.crashed
+    assert [label for _, label in schedule.log] == ["crash d", "recover d"]
+
+
+def test_schedule_custom_action(env):
+    hits = []
+    schedule = FailureSchedule(env)
+    schedule.at(0.5, lambda: hits.append(env.now), "poke")
+    schedule.arm()
+    env.run(until=1.0)
+    assert hits == [0.5]
+    assert schedule.log == [(0.5, "poke")]
+
+
+def test_straggler_mutates_and_restores_interval(env, net):
+    class HostsInterval(Process):
+        def __init__(self, e):
+            super().__init__(e, "p")
+            self.batch_interval = 0.001
+
+    partition = HostsInterval(env)
+    schedule = FailureSchedule(env)
+    Straggler(partition, start=1.0, end=2.0,
+              straggle_interval=0.5).arm(schedule)
+    schedule.arm()
+    env.run(until=1.5)
+    assert partition.batch_interval == 0.5
+    env.run(until=2.5)
+    assert partition.batch_interval == 0.001
+
+
+class TestCalibration:
+    def test_cost_scales_overhead_does_not(self):
+        cal = Calibration(scale=10.0)
+        assert cal.cost("sequencer_request") == pytest.approx(208e-6)
+        assert cal.overhead("eunomia_stab_round") == pytest.approx(10e-6)
+
+    def test_scale_one_equalizes(self):
+        cal = Calibration(scale=1.0)
+        assert cal.cost("uplink_op") == cal.overhead("uplink_op")
+
+    def test_throughput_scale(self):
+        assert Calibration(scale=10.0).throughput_scale() == 10.0
+
+    def test_unknown_cost_raises(self):
+        with pytest.raises(AttributeError):
+            Calibration().cost("made_up")

@@ -1,0 +1,128 @@
+"""Unit tests for the geo facade, datacenter assembly, and spec handling."""
+
+import pytest
+
+from repro.calibration import Calibration
+from repro.core import EunomiaConfig
+from repro.geo.datacenter import Datacenter
+from repro.geo.system import GeoSystem, GeoSystemSpec, build_eunomia_system
+from repro.kvstore.ring import ConsistentHashRing
+from repro.metrics import MetricsHub
+from repro.sim import ConstantLatency, Environment, Network
+from repro.sim.latency import RttMatrix
+from repro.workload import WorkloadSpec
+
+
+class TestSpec:
+    def test_default_topology_is_papers(self):
+        spec = GeoSystemSpec()
+        assert spec.topology().rtt_ms[1][2] == 160.0
+
+    def test_custom_topology_used(self):
+        rtt = RttMatrix([[0, 10], [10, 0]])
+        spec = GeoSystemSpec(n_dcs=2, rtt=rtt)
+        assert spec.topology() is rtt
+
+    def test_calibration_defaults(self):
+        assert isinstance(GeoSystemSpec().calibration, Calibration)
+
+
+class TestDatacenterAssembly:
+    @pytest.fixture
+    def dc_pair(self):
+        env = Environment(seed=3)
+        Network(env, ConstantLatency(0.0001))
+        ring = ConsistentHashRing(2)
+        config = EunomiaConfig()
+        metrics = MetricsHub()
+        dcs = [Datacenter(env, i, 2, 2, ring, config, metrics=metrics)
+               for i in range(2)]
+        return env, dcs
+
+    def test_structure(self, dc_pair):
+        _, dcs = dc_pair
+        dc = dcs[0]
+        assert len(dc.partitions) == 2
+        assert len(dc.eunomia_replicas) == 1
+        assert dc.receiver.dc_id == 0
+        assert dc.relays == []
+
+    def test_connect_wires_destinations_and_siblings(self, dc_pair):
+        _, (a, b) = dc_pair
+        a.connect(b)
+        assert b.receiver in a.eunomia_replicas[0].destinations
+        assert a.partitions[0].siblings[1] is b.partitions[0]
+
+    def test_connect_to_self_rejected(self, dc_pair):
+        _, (a, _) = dc_pair
+        with pytest.raises(ValueError):
+            a.connect(a)
+
+    def test_ft_mode_builds_replica_group(self):
+        env = Environment(seed=3)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(fault_tolerant=True, n_replicas=3)
+        dc = Datacenter(env, 0, 2, 2, ConsistentHashRing(2), config)
+        assert len(dc.eunomia_replicas) == 3
+        assert dc.eunomia_replicas[0].peers == dc.eunomia_replicas[1:]
+
+    def test_leader_helper_skips_crashed(self):
+        env = Environment(seed=3)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(fault_tolerant=True, n_replicas=2)
+        dc = Datacenter(env, 0, 2, 2, ConsistentHashRing(2), config)
+        dc.start()
+        env.run(until=0.1)
+        assert dc.leader() is dc.eunomia_replicas[0]
+        dc.eunomia_replicas[0].crash()
+        env.run(until=3.0)  # past suspicion timeout
+        assert dc.leader() is dc.eunomia_replicas[1]
+
+    def test_fingerprint_empty_datacenters_agree(self, dc_pair):
+        _, (a, b) = dc_pair
+        assert a.fingerprint() == b.fingerprint()
+        assert a.store_snapshot() == {}
+
+
+class TestGeoSystemFacade:
+    @pytest.fixture
+    def system(self):
+        spec = GeoSystemSpec(n_dcs=2, partitions_per_dc=2, clients_per_dc=2,
+                             seed=8)
+        return build_eunomia_system(spec, WorkloadSpec(read_ratio=0.8,
+                                                       n_keys=32))
+
+    def test_start_idempotent(self, system):
+        system.start()
+        clients_before = len(system.clients)
+        system.start()
+        assert len(system.clients) == clients_before
+        system.run(0.5)
+        assert system.total_throughput() >= 0
+
+    def test_window_trims_run(self, system):
+        system.run(2.0)
+        lo, hi = system.window()
+        assert 0.0 < lo < hi < 2.0
+
+    def test_consecutive_runs_extend_time(self, system):
+        system.run(1.0)
+        assert system.env.now == pytest.approx(1.0)
+        system.run(1.0)
+        assert system.env.now == pytest.approx(2.0)
+
+    def test_quiesce_stops_clients(self, system):
+        system.run(1.0)
+        system.quiesce(1.0)
+        done = [c.ops_done for c in system.clients]
+        system.env.run(until=system.env.now + 1.0)
+        assert [c.ops_done for c in system.clients] == done
+
+    def test_visibility_accessor_windows(self, system):
+        system.run(2.0)
+        all_points = system.metrics.point_series("vis_extra_ms:0->1")
+        windowed = system.visibility_extra_ms(0, 1)
+        assert len(windowed) <= len(all_points)
+
+    def test_protocol_label(self, system):
+        assert system.protocol == "eunomia"

@@ -1,0 +1,157 @@
+"""Unit-level tests for the GentleRain/Cure stabilization machinery."""
+
+import pytest
+
+from repro.baselines.cure import CurePartition
+from repro.baselines.gentlerain import GentleRainPartition
+from repro.baselines.gst import GstTimings
+from repro.baselines.messages import GstBroadcast, GstHeartbeat
+from repro.clocks import PhysicalClock
+from repro.core.messages import ClientUpdate, RemoteData
+from repro.kvstore.types import Update
+from repro.metrics import MetricsHub
+from repro.sim import ConstantLatency, Environment, Network, Process
+
+
+def make_partition(env, cls, dc_id=0, index=1, metrics=None):
+    """index=1: not the aggregator, so no periodic aggregation interferes."""
+    return cls(env, f"dc{dc_id}/p{index}", dc_id, index, 3,
+               PhysicalClock(env), GstTimings(),
+               metrics=metrics or MetricsHub())
+
+
+def remote(dc, ts, vts, seq=1, key="rk", value="rv"):
+    return Update(key=key, value=value, origin_dc=dc, partition_index=0,
+                  seq=seq, ts=ts, vts=vts, commit_time=0.0)
+
+
+class Sender(Process):
+    pass
+
+
+class TestGentleRainUnit:
+    def test_remote_update_gated_until_gst(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        sender.send(partition, RemoteData(remote(1, 100, (100,))))
+        env.run(until=0.01)
+        assert partition.visible.get("rk") is None      # gated
+        assert partition.pending_count() == 1
+        sender.send(partition, GstBroadcast((100,)))
+        env.run(until=0.02)
+        assert partition.visible.get("rk").value == "rv"
+        assert partition.pending_count() == 0
+
+    def test_release_in_timestamp_order(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        for ts in (30, 10, 20):
+            sender.send(partition, RemoteData(
+                remote(1, ts, (ts,), seq=ts, key=f"k{ts}")))
+        env.run(until=0.01)
+        sender.send(partition, GstBroadcast((15,)))
+        env.run(until=0.02)
+        assert partition.visible.get("k10") is not None
+        assert partition.visible.get("k20") is None
+        assert partition.pending_count() == 2
+
+    def test_heartbeat_advances_vv(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        sender.send(partition, GstHeartbeat(2, 0, 12345))
+        env.run(until=0.01)
+        assert partition.vv[2] == 12345
+
+    def test_local_summary_is_min_of_vv(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        partition.vv = [100, 50, 70]
+        assert partition._local_summary() == (50,)
+
+    def test_update_stamp_scalar(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        update = partition._stamp(ClientUpdate("k", "v", (500_000,)))
+        assert update.vts == (update.ts,)
+        assert update.ts > 500_000
+
+    def test_gst_broadcast_monotone_merge(self, env, net, metrics):
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        sender.send(partition, GstBroadcast((100,)))
+        sender.send(partition, GstBroadcast((60,)))  # stale broadcast
+        env.run(until=0.01)
+        assert partition.summary == (100,)
+
+
+class TestCureUnit:
+    def test_release_requires_every_remote_entry(self, env, net, metrics):
+        partition = make_partition(env, CurePartition, metrics=metrics)
+        sender = Sender(env, "s")
+        # from dc1, also depends on dc2's ts 80
+        sender.send(partition, RemoteData(remote(1, 100, (0, 100, 80))))
+        env.run(until=0.01)
+        sender.send(partition, GstBroadcast((0, 100, 0)))
+        env.run(until=0.02)
+        assert partition.visible.get("rk") is None      # dc2 entry missing
+        sender.send(partition, GstBroadcast((0, 100, 80)))
+        env.run(until=0.03)
+        assert partition.visible.get("rk").value == "rv"
+
+    def test_local_entry_not_required(self, env, net, metrics):
+        partition = make_partition(env, CurePartition, metrics=metrics)
+        sender = Sender(env, "s")
+        # vts[0] is the local DC: must not gate visibility
+        sender.send(partition, RemoteData(remote(1, 10, (999_999, 10, 0))))
+        env.run(until=0.01)
+        sender.send(partition, GstBroadcast((0, 10, 0)))
+        env.run(until=0.02)
+        assert partition.visible.get("rk") is not None
+
+    def test_update_stamp_vector(self, env, net, metrics):
+        partition = make_partition(env, CurePartition, metrics=metrics)
+        update = partition._stamp(ClientUpdate("k", "v", (7, 0, 9)))
+        # dc_id=0: local entry is index 0, remote entries copied verbatim
+        assert update.vts[0] > 7
+        assert update.vts[1] == 0 and update.vts[2] == 9
+        assert update.ts == update.vts[partition.dc_id]
+
+    def test_local_summary_is_full_vv(self, env, net, metrics):
+        partition = make_partition(env, CurePartition, metrics=metrics)
+        partition.vv = [5, 6, 7]
+        assert partition._local_summary() == (5, 6, 7)
+
+    def test_visibility_metrics_recorded_on_release(self, env, net):
+        metrics = MetricsHub()
+        partition = make_partition(env, CurePartition, metrics=metrics)
+        sender = Sender(env, "s")
+        sender.send(partition, RemoteData(remote(1, 10, (0, 10, 0))))
+        env.run(until=0.01)
+        env.loop.schedule_at(0.05, lambda: sender.send(
+            partition, GstBroadcast((0, 10, 0))))
+        env.run(until=0.1)
+        points = metrics.point_series("vis_extra_ms:1->0")
+        assert len(points) == 1
+        assert points[0][1] == pytest.approx(50.0, abs=5.0)
+
+
+class TestAggregation:
+    def test_aggregator_broadcasts_min_of_reports(self, env, net, metrics):
+        aggregator = GentleRainPartition(
+            env, "p0", 0, 0, 3, PhysicalClock(env), GstTimings(),
+            metrics=metrics)
+        follower = make_partition(env, GentleRainPartition, metrics=metrics)
+        aggregator.local_partitions = [aggregator, follower]
+        aggregator._reports = {0: (50,), 1: (30,)}
+        aggregator._aggregate()
+        env.run(until=0.01)
+        assert follower.summary == (30,)
+
+    def test_aggregator_waits_for_all_reports(self, env, net, metrics):
+        aggregator = GentleRainPartition(
+            env, "p0", 0, 0, 3, PhysicalClock(env), GstTimings(),
+            metrics=metrics)
+        follower = make_partition(env, GentleRainPartition, metrics=metrics)
+        aggregator.local_partitions = [aggregator, follower]
+        aggregator._reports = {0: (50,)}  # follower hasn't reported yet
+        aggregator._aggregate()
+        env.run(until=0.01)
+        assert follower.summary == (0,)

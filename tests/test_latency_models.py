@@ -1,0 +1,76 @@
+"""Tests for latency models and the paper's topology."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import (
+    PAPER_RTT_MS,
+    ConstantLatency,
+    JitteredLatency,
+    RttMatrix,
+    paper_topology,
+)
+
+
+class Site:
+    def __init__(self, site):
+        self.site = site
+
+
+RNG = random.Random(3)
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.005)
+    assert model.delay(Site(0), Site(1), RNG) == 0.005
+
+
+def test_jittered_latency_bounds():
+    model = JitteredLatency(base_s=0.01, jitter_s=0.002)
+    for _ in range(100):
+        d = model.delay(Site(0), Site(1), RNG)
+        assert 0.01 <= d <= 0.012
+
+
+def test_paper_rtt_values():
+    assert PAPER_RTT_MS[0][1] == 80.0
+    assert PAPER_RTT_MS[1][2] == 160.0
+    model = paper_topology()
+    # one-way = RTT/2
+    assert model.one_way_s(0, 1) == pytest.approx(0.040)
+    assert model.one_way_s(1, 2) == pytest.approx(0.080)
+
+
+def test_intra_site_delay():
+    model = RttMatrix(PAPER_RTT_MS, intra_us=150.0, jitter_frac=0.0)
+    assert model.one_way_s(2, 2) == pytest.approx(150e-6)
+
+
+def test_jitter_fraction_bounds():
+    model = RttMatrix(PAPER_RTT_MS, jitter_frac=0.02)
+    base = model.one_way_s(0, 1)
+    for _ in range(200):
+        d = model.delay(Site(0), Site(1), RNG)
+        assert base <= d <= base * 1.021
+
+
+def test_synthetic_topology_for_other_sizes():
+    model = paper_topology(n_sites=5)
+    assert model.n_sites == 5
+    # ring distances: 1 hop = 80ms RTT, 2 hops = 160ms
+    assert model.rtt_ms[0][1] == 80.0
+    assert model.rtt_ms[0][2] == 160.0
+    assert model.rtt_ms[0][4] == 80.0  # wraps around
+    # symmetric, zero diagonal
+    for i in range(5):
+        assert model.rtt_ms[i][i] == 0.0
+        for j in range(5):
+            assert model.rtt_ms[i][j] == model.rtt_ms[j][i]
+
+
+def test_asymmetry_preserved():
+    """Synthetic topologies keep near/far pairs (GentleRain's nemesis)."""
+    model = paper_topology(n_sites=4)
+    distances = {model.rtt_ms[0][j] for j in range(1, 4)}
+    assert len(distances) > 1

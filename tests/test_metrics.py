@@ -1,0 +1,125 @@
+"""Tests for metric collection and post-run statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MetricsHub,
+    NullMetrics,
+    cdf,
+    mean,
+    percentile,
+    steady_window,
+    throughput,
+    trim_marks,
+    windowed_points,
+    windowed_rate,
+)
+
+
+class TestHub:
+    def test_counters(self, metrics):
+        metrics.count("x")
+        metrics.count("x", 4)
+        assert metrics.counter("x") == 5
+        assert metrics.counter("missing") == 0
+
+    def test_samples_marks_points(self, metrics):
+        metrics.record("lat", 1.0)
+        metrics.mark("ops", 0.5)
+        metrics.point("vis", 0.5, 9.0)
+        assert metrics.sample_values("lat") == [1.0]
+        assert metrics.mark_times("ops") == [0.5]
+        assert metrics.point_series("vis") == [(0.5, 9.0)]
+
+    def test_names_listing(self, metrics):
+        metrics.count("c")
+        metrics.record("s", 1)
+        names = metrics.names()
+        assert names["counters"] == ["c"]
+        assert names["samples"] == ["s"]
+
+    def test_null_hub_discards(self):
+        hub = NullMetrics()
+        hub.count("x")
+        hub.record("y", 1.0)
+        hub.mark("z", 1.0)
+        hub.point("w", 1.0, 2.0)
+        assert hub.counter("x") == 0
+        assert hub.sample_values("y") == []
+
+
+class TestStats:
+    def test_mean_and_empty(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 90) == pytest.approx(90.1)
+        assert percentile([], 50) == 0.0
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6,
+                                     allow_nan=False), min_size=1,
+                           max_size=200))
+    def test_percentile_bounds(self, values):
+        assert min(values) <= percentile(values, 50) <= max(values)
+
+    def test_cdf_monotone_and_complete(self):
+        points = cdf([3.0, 1.0, 2.0, 2.0])
+        assert points == [(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]
+
+    def test_cdf_resolution_buckets(self):
+        points = cdf([0.2, 0.9, 1.4], resolution=1.0)
+        assert points == [(0.0, 2 / 3), (1.0, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf([]) == []
+
+    @given(values=st.lists(st.floats(0, 1000, allow_nan=False), min_size=1,
+                           max_size=100))
+    def test_cdf_fractions_monotone(self, values):
+        points = cdf(values)
+        fracs = [f for _, f in points]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_steady_window_trims(self):
+        lo, hi = steady_window(0.0, 10.0)
+        assert lo == pytest.approx(1.5)
+        assert hi == pytest.approx(8.5)
+
+    def test_throughput_counts_in_window(self):
+        marks = [0.1 * i for i in range(100)]  # 10 ops/s for 10s
+        assert throughput(marks, (2.0, 8.0)) == pytest.approx(10.0, rel=0.05)
+        assert throughput(marks, (5.0, 5.0)) == 0.0
+
+    def test_trim_marks(self):
+        assert trim_marks([0.5, 1.5, 2.5], (1.0, 2.0)) == [1.5]
+
+    def test_windowed_rate(self):
+        marks = [0.25, 0.75, 1.25]  # 2 in [0,1), 1 in [1,2)
+        rates = windowed_rate(marks, 0.0, 2.0, 1.0)
+        assert rates == [(0.5, 2.0), (1.5, 1.0)]
+
+    def test_windowed_rate_degenerate(self):
+        assert windowed_rate([1.0], 5.0, 5.0, 1.0) == []
+
+    def test_windowed_points_aggregations(self):
+        points = [(0.1, 10.0), (0.2, 20.0), (1.5, 5.0)]
+        assert windowed_points(points, 0, 2, 1, agg="mean") == [
+            (0.5, 15.0), (1.5, 5.0)]
+        assert windowed_points(points, 0, 2, 1, agg="max")[0] == (0.5, 20.0)
+        p90 = windowed_points(points, 0, 2, 1, agg="p90")[0][1]
+        assert 10.0 <= p90 <= 20.0
+
+    def test_windowed_points_skips_empty_buckets(self):
+        points = [(0.5, 1.0), (2.5, 2.0)]
+        out = windowed_points(points, 0, 3, 1, agg="mean")
+        assert [t for t, _ in out] == [0.5, 2.5]
+
+    def test_windowed_points_unknown_agg(self):
+        with pytest.raises(ValueError):
+            windowed_points([(0.5, 1.0)], 0, 1, 1, agg="bogus")

@@ -1,0 +1,93 @@
+"""Property-based tests for the vector clock algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clocks import (
+    VectorClock,
+    vc_bump,
+    vc_concurrent,
+    vc_leq,
+    vc_lt,
+    vc_merge,
+    vc_zero,
+)
+
+vec3 = st.tuples(*[st.integers(min_value=0, max_value=50)] * 3)
+
+
+def test_zero_is_bottom():
+    z = vc_zero(3)
+    assert z == (0, 0, 0)
+    assert vc_leq(z, (1, 2, 3))
+
+
+@given(a=vec3, b=vec3)
+def test_merge_is_least_upper_bound(a, b):
+    m = vc_merge(a, b)
+    assert vc_leq(a, m) and vc_leq(b, m)
+    # least: any other upper bound dominates m
+    assert all(m[i] == max(a[i], b[i]) for i in range(3))
+
+
+@given(a=vec3, b=vec3)
+def test_merge_commutative(a, b):
+    assert vc_merge(a, b) == vc_merge(b, a)
+
+
+@given(a=vec3, b=vec3, c=vec3)
+def test_merge_associative(a, b, c):
+    assert vc_merge(vc_merge(a, b), c) == vc_merge(a, vc_merge(b, c))
+
+
+@given(a=vec3)
+def test_leq_reflexive(a):
+    assert vc_leq(a, a)
+    assert not vc_lt(a, a)
+
+
+@given(a=vec3, b=vec3, c=vec3)
+def test_leq_transitive(a, b, c):
+    if vc_leq(a, b) and vc_leq(b, c):
+        assert vc_leq(a, c)
+
+
+@given(a=vec3, b=vec3)
+def test_order_trichotomy(a, b):
+    """Exactly one of: a<b, b<a, a==b, concurrent."""
+    relations = [vc_lt(a, b), vc_lt(b, a), a == b, vc_concurrent(a, b)]
+    assert sum(relations) == 1
+
+
+@given(a=vec3)
+def test_bump_strictly_dominates(a):
+    bumped = vc_bump(a, 1, a[1] + 1)
+    assert vc_lt(a, bumped)
+
+
+@given(a=vec3, b=vec3)
+def test_causal_order_implies_sum_order(a, b):
+    """The convergent-LWW foundation: vc_lt ⇒ strictly smaller entry sum."""
+    if vc_lt(a, b):
+        assert sum(a) < sum(b)
+
+
+class TestVectorClockWrapper:
+    def test_algebra_matches_free_functions(self):
+        a = VectorClock((1, 2, 3))
+        b = VectorClock((2, 2, 2))
+        assert a.merge(b) == VectorClock((2, 2, 3))
+        assert a.concurrent_with(b)
+        assert not (a <= b)
+        assert a.bump(0, 5)[0] == 5
+        assert len(a) == 3
+
+    def test_zero_and_ordering(self):
+        z = VectorClock.zero(2)
+        one = VectorClock((1, 1))
+        assert z < one
+        assert z <= one
+        assert hash(z) == hash(VectorClock.zero(2))
+
+    def test_repr_roundtrip_info(self):
+        assert "1, 2" in repr(VectorClock((1, 2)))

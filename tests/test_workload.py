@@ -1,0 +1,86 @@
+"""Tests for the workload generator and key distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload import (
+    READ,
+    UPDATE,
+    UniformKeys,
+    Workload,
+    WorkloadSpec,
+    ZipfKeys,
+)
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        dist = UniformKeys(100)
+        rng = random.Random(0)
+        assert all(0 <= dist.sample(rng) < 100 for _ in range(1000))
+
+    def test_uniform_roughly_flat(self):
+        dist = UniformKeys(10)
+        rng = random.Random(1)
+        counts = Counter(dist.sample(rng) for _ in range(20000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_zipf_skews_toward_hot_keys(self):
+        dist = ZipfKeys(1000, s=0.99)
+        rng = random.Random(2)
+        counts = Counter(dist.sample(rng) for _ in range(20000))
+        hot = dist.hottest(10)
+        hot_mass = sum(counts.get(k, 0) for k in hot) / 20000
+        assert hot_mass > 0.20  # top-1% keys draw >20% of accesses
+
+    def test_zipf_permutes_ranks_across_keyspace(self):
+        dist = ZipfKeys(1000)
+        hot = list(dist.hottest(20))
+        assert hot != sorted(hot)  # not simply keys 0..19
+
+    def test_zipf_deterministic_given_rng(self):
+        a = [ZipfKeys(100).sample(random.Random(3)) for _ in range(50)]
+        b = [ZipfKeys(100).sample(random.Random(3)) for _ in range(50)]
+        assert a == b
+
+    @pytest.mark.parametrize("cls", [UniformKeys, ZipfKeys])
+    def test_rejects_empty_keyspace(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+
+
+class TestWorkloadSpec:
+    def test_ratio_label(self):
+        assert WorkloadSpec(read_ratio=0.9).ratio_label() == "90:10"
+        assert WorkloadSpec(read_ratio=0.5).ratio_label() == "50:50"
+
+    def test_build_uniform_and_zipf(self):
+        assert isinstance(WorkloadSpec().build().keys, UniformKeys)
+        spec = WorkloadSpec(distribution="zipf")
+        assert isinstance(spec.build().keys, ZipfKeys)
+
+    def test_build_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(distribution="mystery").build()
+
+    def test_next_op_shape(self):
+        workload = WorkloadSpec(read_ratio=1.0, n_keys=10,
+                                value_bytes=128).build()
+        kind, key, size = workload.next(random.Random(0))
+        assert kind == READ
+        assert 0 <= key < 10
+        assert size == 128
+
+    def test_read_ratio_respected(self):
+        workload = WorkloadSpec(read_ratio=0.7, n_keys=10).build()
+        rng = random.Random(5)
+        kinds = Counter(workload.next(rng)[0] for _ in range(10000))
+        assert kinds[READ] / 10000 == pytest.approx(0.7, abs=0.02)
+        assert kinds[UPDATE] > 0
+
+    def test_all_updates(self):
+        workload = WorkloadSpec(read_ratio=0.0).build()
+        rng = random.Random(6)
+        assert all(workload.next(rng)[0] == UPDATE for _ in range(100))
