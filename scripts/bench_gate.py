@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a fresh ``pytest --benchmark-json`` run against the committed
+baseline (``benchmarks/BENCH_baseline.json``) and fails when any benchmark's
+median slows down by more than the threshold (default 25%).  Run from CI
+after the smoke benchmarks:
+
+    pytest benchmarks/bench_sim_core.py benchmarks/bench_trees.py \
+        --benchmark-json=bench-results.json
+    python scripts/bench_gate.py --fresh bench-results.json --normalize
+
+``--normalize`` judges each benchmark relative to the run's overall
+machine-speed factor so heterogeneous CI runners do not trip the gate;
+omit it when comparing runs from the same machine.  Only benchmarks
+matching ``--gate`` (default: the sim-core hot paths) can fail the run;
+noisier suites (e.g. the tree micro-benches) are compared and reported
+as informational.
+
+Benchmarks present in only one of the two files are reported but do not
+fail the gate (new benchmarks land before their baseline; retired ones
+linger in the baseline until it is refreshed).  To refresh after an
+intentional change:
+
+    python scripts/bench_gate.py --fresh bench-results.json --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """Map benchmark fullname -> median seconds from a --benchmark-json file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    medians = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        medians[name] = bench["stats"]["median"]
+    return medians
+
+
+def speed_factor(baseline: dict[str, float], fresh: dict[str, float]) -> float:
+    """Median fresh/baseline ratio over shared benchmarks.
+
+    Approximates how much faster/slower this machine is than the one that
+    recorded the baseline.  Judging each benchmark *relative* to this factor
+    makes the gate robust across heterogeneous CI runners: a single hot path
+    regressing stands out against its unregressed peers, while a uniformly
+    slower runner does not fail every benchmark at once.  (The blind spot —
+    every gated benchmark regressing by the same factor — is the price of
+    not pinning CI to one hardware generation.)
+    """
+    ratios = sorted(fresh[name] / baseline[name]
+                    for name in set(baseline) & set(fresh)
+                    if baseline[name] > 0)
+    if not ratios:
+        return 1.0
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2
+
+
+def compare(baseline: dict[str, float], fresh: dict[str, float],
+            threshold: float, normalize: bool,
+            gate_pattern: str) -> tuple[list[str], list[str]]:
+    """Return (failures, report_lines).
+
+    Only benchmarks whose fullname matches ``gate_pattern`` (regex search;
+    empty string matches all) can *fail* the gate; everything else is
+    compared and reported as informational.  The speed factor is still
+    computed over every shared benchmark — more samples, steadier estimate.
+    """
+    factor = speed_factor(baseline, fresh) if normalize else 1.0
+    gate_re = re.compile(gate_pattern) if gate_pattern else None
+    failures = []
+    lines = []
+    if normalize:
+        lines.append(f"  machine speed factor: {factor:.3f}x "
+                     "(medians judged relative to it)")
+    for name in sorted(set(baseline) | set(fresh)):
+        base = baseline.get(name)
+        new = fresh.get(name)
+        if base is None:
+            lines.append(f"  NEW       {name}: {new * 1e3:.3f} ms "
+                         "(no baseline yet)")
+            continue
+        if new is None:
+            lines.append(f"  MISSING   {name}: in baseline but not in the "
+                         "fresh run")
+            continue
+        gated = gate_re is None or gate_re.search(name)
+        ratio = (new / factor) / base if base > 0 else float("inf")
+        delta = (ratio - 1.0) * 100
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            if gated:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{name}: median {base * 1e3:.3f} ms -> "
+                    f"{new * 1e3:.3f} ms ({delta:+.1f}% relative, "
+                    f"threshold +{threshold * 100:.0f}%)")
+            else:
+                verdict = "info-slow"   # outside the gate: report, don't fail
+        elif ratio < 1.0 - threshold:
+            verdict = "improved"
+        lines.append(f"  {verdict:<9} {name}: {base * 1e3:.3f} ms -> "
+                     f"{new * 1e3:.3f} ms ({delta:+.1f}%)")
+    return failures, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON "
+                             "(default: benchmarks/BENCH_baseline.json)")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="fresh --benchmark-json output to check")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed median slowdown as a fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide every fresh median by the machine "
+                             "speed factor (median fresh/baseline ratio) "
+                             "before comparing — use on CI, where runner "
+                             "hardware differs from the baseline machine")
+    parser.add_argument("--gate", default="bench_sim_core",
+                        help="regex: only matching benchmarks can fail the "
+                             "gate; the rest are informational (default "
+                             "'bench_sim_core' — the hot paths every "
+                             "experiment rides on; pass '' to gate all)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="replace the baseline with the fresh run and "
+                             "exit 0 (use after intentional perf changes)")
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"bench gate: fresh results {args.fresh} not found",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_bytes(args.fresh.read_bytes())
+        print(f"bench gate: baseline refreshed at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"bench gate: no baseline at {args.baseline}; "
+              "run with --write-baseline to create one", file=sys.stderr)
+        return 2
+
+    baseline = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+    failures, lines = compare(baseline, fresh, args.threshold,
+                              args.normalize, args.gate)
+
+    print(f"bench gate: {len(fresh)} fresh vs {len(baseline)} baseline "
+          f"benchmarks (threshold +{args.threshold * 100:.0f}% median)")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nbench gate: FAILED — {len(failures)} regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

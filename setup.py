@@ -1,4 +1,4 @@
-"""Legacy-path shim: metadata lives in pyproject.toml.
+"""Legacy-path shim: all metadata lives in pyproject.toml (PEP 621).
 
 Kept so that ``pip install -e . --no-use-pep517`` works on machines without
 the ``wheel`` package (PEP 660 editable installs need it; setup.py develop

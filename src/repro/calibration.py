@@ -73,6 +73,15 @@ class Calibration:
     eunomia_stab_round_us: float = 10.0  # PROCESS_STABLE fixed cost
     eunomia_ack_us: float = 3.0          # FT replica: emit BatchAck per batch
 
+    # -- sharded Eunomia ---------------------------------------------------
+    #: shard-side serialization of one stable-run op (the propagation work
+    #: minus the destination fan-out, done once per op on the shard's core)
+    eunomia_shard_serialize_op_us: float = 2.0
+    #: coordinator per-op forward of a pre-serialized run, per destination —
+    #: a K-way heap pop plus a buffer splice, far cheaper than serializing
+    eunomia_coord_op_us: float = 0.4
+    eunomia_coord_round_us: float = 10.0   # fixed cost per merge/drain round
+
     # -- partition-side (Riak-like storage nodes) ------------------------
     partition_read_us: float = 150.0
     partition_update_us: float = 400.0

@@ -25,18 +25,24 @@ from .messages import (
     RemoteData,
     RemoteStableBatch,
     ReplicaAlive,
+    ShardStableBatch,
     StableAnnounce,
 )
 from .partition import EunomiaPartition
 from .tree import CombinedBatch, TreeRelay
 from .replica import EunomiaReplica
-from .service import EunomiaService
+from .service import EunomiaService, StabilizerBase
+from .shard import EunomiaShard, ShardCoordinator, ShardMap
 from .uplink import EunomiaUplink
 
 __all__ = [
     "EunomiaConfig",
     "EunomiaService",
     "EunomiaReplica",
+    "StabilizerBase",
+    "EunomiaShard",
+    "ShardCoordinator",
+    "ShardMap",
     "EunomiaPartition",
     "EunomiaUplink",
     "SessionClient",
@@ -55,5 +61,6 @@ __all__ = [
     "RemoteData",
     "RemoteStableBatch",
     "ReplicaAlive",
+    "ShardStableBatch",
     "StableAnnounce",
 ]

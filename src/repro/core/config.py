@@ -63,6 +63,16 @@ class EunomiaConfig:
     tree_fanout: int = 8
     tree_flush_interval: float = 0.001
 
+    #: Sharded stabilization: split the datacenter's partitions across K
+    #: :class:`~repro.core.shard.EunomiaShard` workers plus a merging
+    #: :class:`~repro.core.shard.ShardCoordinator`.  ``1`` is the paper's
+    #: single sequential stabilizer (plain :class:`EunomiaService`).
+    n_shards: int = 1
+
+    #: Partition → shard assignment: ``"stride"`` (round-robin, p % K) or
+    #: ``"block"`` (contiguous ranges).  See :class:`~repro.core.shard.ShardMap`.
+    shard_policy: str = "stride"
+
     def validate(self) -> None:
         """Sanity-check interval relationships; raises ValueError."""
         if self.n_replicas < 1:
@@ -83,3 +93,16 @@ class EunomiaConfig:
             )
         if self.tree_fanout < 1:
             raise ValueError("tree fanout must be at least 1")
+        if self.n_shards < 1:
+            raise ValueError("need at least one Eunomia shard")
+        if self.n_shards > 1 and self.fault_tolerant:
+            raise ValueError(
+                "sharded stabilization composes Algorithm 3 workers, not the "
+                "Algorithm 4 replica group; replicating individual shards is "
+                "future work — use n_shards=1 with fault_tolerant=True"
+            )
+        if self.shard_policy not in ("stride", "block"):
+            raise ValueError(
+                f"unknown shard policy {self.shard_policy!r} "
+                "(expected 'stride' or 'block')"
+            )

@@ -22,6 +22,7 @@ __all__ = [
     "PartitionHeartbeat",
     "BatchAck",
     "StableAnnounce",
+    "ShardStableBatch",
     "RemoteStableBatch",
     "RemoteData",
     "ApplyRemote",
@@ -135,6 +136,30 @@ class ReplicaAlive:
 
     replica_id: int
     size_bytes: int = 16
+
+
+# ----------------------------------------------------------------------
+# Sharded stabilization (shard → coordinator)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ShardStableBatch:
+    """Shard → coordinator: one serialized stable sub-run.
+
+    ``stable_ts`` is the shard's ShardStableTime at emission; ``ops`` is the
+    (ts, origin, seq)-ordered run of newly stable ops at or below it.  A
+    batch with empty ``ops`` is a pure progress announcement — the
+    coordinator's global ``min(ShardStableTime)`` must keep advancing even
+    through shards whose partitions are idle.
+    """
+
+    shard_id: int
+    stable_ts: int
+    ops: tuple[Update, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 16 + sum(op.size_bytes if op.value is not None
+                        else op.metadata_bytes for op in self.ops)
 
 
 # ----------------------------------------------------------------------

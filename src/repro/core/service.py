@@ -11,6 +11,16 @@ Property 1 is consistent with causality — and shipped to remote datacenters.
 The unstable set is a red–black tree (§6); extraction of the stable prefix
 is :meth:`repro.datastruct.opbuffer.OpBuffer.pop_stable`.
 
+Two deployments share the machinery in :class:`StabilizerBase`:
+
+* :class:`EunomiaService` — the paper's single sequential stabilizer per
+  datacenter (the K=1 case), which serializes *all* partitions and ships
+  the stable run to remote sites itself;
+* :class:`repro.core.shard.EunomiaShard` — one of K workers that each run
+  Algorithm 3 over a partition *subset* and hand their (already ordered)
+  stable sub-runs to a :class:`repro.core.shard.ShardCoordinator` for a
+  K-way merge before remote propagation.
+
 CPU accounting: batch ingestion is charged through the cost model installed
 by the builder; stabilization charges a fixed round cost plus a per-op,
 per-destination propagation cost — the component the paper identifies as
@@ -30,23 +40,26 @@ from ..sim.process import CostModel, Process
 from .config import EunomiaConfig
 from .messages import AddOpBatch, PartitionHeartbeat, RemoteStableBatch
 
-__all__ = ["EunomiaService"]
+__all__ = ["StabilizerBase", "EunomiaService"]
 
 
-class EunomiaService(Process):
-    """Single-replica Eunomia (the non-fault-tolerant Algorithm 3)."""
+class StabilizerBase(Process):
+    """Shared Algorithm 3 core: ingestion, PartitionTime, periodic FIND_STABLE.
+
+    Subclasses decide what a computed stable run *means* by overriding
+    :meth:`_emit` (ship it to remote datacenters, hand it to a shard
+    coordinator, …) and which partitions bound stability via
+    :meth:`_stable_floor`.
+    """
 
     def __init__(self, env: Environment, name: str, site: int,
                  n_partitions: int, config: EunomiaConfig,
-                 propagate_op_cost: float = 0.0,
-                 stab_round_cost: float = 0.0,
                  insert_op_cost: float = 0.0,
                  batch_cost: float = 0.0,
                  heartbeat_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Callable = RedBlackTree,
-                 stable_mark: Optional[str] = None):
+                 tree_factory: Callable = RedBlackTree):
         self.insert_op_cost = insert_op_cost
         self.batch_cost = batch_cost
         if cost_model is None:
@@ -62,23 +75,11 @@ class EunomiaService(Process):
         super().__init__(env, name, site=site, cost_model=cost_model)
         self.n_partitions = n_partitions
         self.config = config
-        self.propagate_op_cost = propagate_op_cost
-        self.stab_round_cost = stab_round_cost
         self.metrics = metrics or NullMetrics()
         self.partition_time = [0] * n_partitions
         self.buffer = OpBuffer(tree_factory)
-        self.destinations: list[Process] = []
         self.stable_time = 0
         self.ops_stabilized = 0
-        #: metric name for per-op stabilization marks (throughput figures)
-        self.stable_mark = stable_mark or f"eunomia_stable:dc{site}"
-
-    # ------------------------------------------------------------------
-    # Wiring
-    # ------------------------------------------------------------------
-    def add_destination(self, dest: Process) -> None:
-        """Register a remote receiver (or measurement sink)."""
-        self.destinations.append(dest)
 
     def start(self) -> None:
         """Arm the periodic PROCESS_STABLE tick (Alg. 3 line 7)."""
@@ -159,20 +160,72 @@ class EunomiaService(Process):
         """Hook: the fault-tolerant replica gates this on leadership."""
         return True
 
+    def _stable_floor(self) -> int:
+        """The timestamp below which no tracked partition can still produce."""
+        return min(self.partition_time)
+
     def _stabilize(self) -> None:
         if not self._should_stabilize():
             return
-        stable = min(self.partition_time)
+        stable = self._stable_floor()
         if stable > self.stable_time:
             self.stable_time = stable
         ops = self.buffer.pop_stable(self.stable_time)
+        self._emit(self.stable_time, ops)
+
+    def _emit(self, stable_ts: int, ops: list) -> None:
+        """Consume one stable run (subclass decides where it goes)."""
+        raise NotImplementedError
+
+
+class EunomiaService(StabilizerBase):
+    """Single-replica Eunomia (the non-fault-tolerant Algorithm 3).
+
+    This is the K=1 special case of the sharded machinery: one stabilizer
+    covering every partition, propagating its stable runs to remote
+    receivers itself.
+    """
+
+    def __init__(self, env: Environment, name: str, site: int,
+                 n_partitions: int, config: EunomiaConfig,
+                 propagate_op_cost: float = 0.0,
+                 stab_round_cost: float = 0.0,
+                 insert_op_cost: float = 0.0,
+                 batch_cost: float = 0.0,
+                 heartbeat_cost: float = 0.0,
+                 metrics: Optional[MetricsHub] = None,
+                 cost_model: Optional[CostModel] = None,
+                 tree_factory: Callable = RedBlackTree,
+                 stable_mark: Optional[str] = None):
+        super().__init__(env, name, site, n_partitions, config,
+                         insert_op_cost=insert_op_cost,
+                         batch_cost=batch_cost,
+                         heartbeat_cost=heartbeat_cost,
+                         metrics=metrics, cost_model=cost_model,
+                         tree_factory=tree_factory)
+        self.propagate_op_cost = propagate_op_cost
+        self.stab_round_cost = stab_round_cost
+        self.destinations: list[Process] = []
+        #: metric name for per-op stabilization marks (throughput figures)
+        self.stable_mark = stable_mark or f"eunomia_stable:dc{site}"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_destination(self, dest: Process) -> None:
+        """Register a remote receiver (or measurement sink)."""
+        self.destinations.append(dest)
+
+    # ------------------------------------------------------------------
+    # Stable-run consumption
+    # ------------------------------------------------------------------
+    def _emit(self, stable_ts: int, ops: list) -> None:
         if not ops:
-            self._post_stabilize(self.stable_time, ops)
+            self._post_stabilize(stable_ts, ops)
             return
         cost = (self.stab_round_cost
                 + self.propagate_op_cost * len(ops) * max(1, len(self.destinations)))
-        stable_now = self.stable_time
-        self._enqueue(lambda: self._propagate(stable_now, ops), cost)
+        self._enqueue(lambda: self._propagate(stable_ts, ops), cost)
 
     def _propagate(self, stable_ts: int, ops: list) -> None:
         """PROCESS(StableOps): ship the ordered stable run to every site."""

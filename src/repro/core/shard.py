@@ -1,0 +1,247 @@
+"""Sharded Eunomia: K stabilizer workers + a merging coordinator.
+
+The paper's stabilizer is a single sequential process per datacenter, and
+§7.1 names its limit outright: "the bottleneck of our Eunomia implementation
+is the propagation to other geo-locations".  The §5 propagation tree only
+relieves the fan-*in*; the ordering and serialization work itself still runs
+on one core.  This module scales that step out, in the spirit of
+decentralized stabilization schemes (Okapi's structured hybrid stable time;
+Xiang & Vaidya's global stabilization for partial replication):
+
+* :class:`EunomiaShard` — one of K workers, each running Algorithm 3
+  unchanged over a *subset* of the datacenter's partitions with its own
+  ``OpBuffer``.  Every θ it computes its ``ShardStableTime`` (the min of
+  PartitionTime over its subset), serializes the stable sub-run, and ships
+  it to the coordinator.
+* :class:`ShardCoordinator` — tracks per-shard ``ShardStableTime``, computes
+  the datacenter-wide ``StableTime = min(shards)``, and merges the shards'
+  already-ordered runs with a K-way streaming merge (``heapq.merge``)
+  before remote propagation.
+
+Correctness (Properties 1–2 preserved):
+
+* each partition's traffic is routed to exactly one shard over FIFO links,
+  so every shard still sees a FIFO prefix per partition — Algorithm 3's
+  premise holds per shard unchanged;
+* a shard announcing ``ShardStableTime = S`` will never later emit an op
+  with ``ts <= S`` (its hybrid clocks are monotone and its buffer pops the
+  whole prefix), so successive sub-runs from one shard are strictly
+  increasing in the ``(ts, origin, seq)`` key;
+* the coordinator only releases ops at or below ``min(ShardStableTime)``,
+  merged by ``(ts, origin, seq)`` — the same key and tie-break the single
+  stabilizer uses — so the merged stream is op-for-op the serialization the
+  K=1 service would have produced (partition sets are disjoint, hence keys
+  never collide across shards).
+
+Cost model: shards pay the tree-insert and run-serialization CPU (spread
+over K cores); the coordinator pays only a cheap per-op forward of the
+pre-serialized runs, per destination, plus a fixed merge-round overhead —
+scatter-gather serialization with a thin merging front, which is what lets
+stabilization throughput scale with K until the coordinator saturates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Optional
+
+from ..datastruct.rbtree import RedBlackTree
+from ..kvstore.types import Update
+from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.env import Environment
+from ..sim.process import CostModel, Process
+from .config import EunomiaConfig
+from .messages import RemoteStableBatch, ShardStableBatch
+from .service import StabilizerBase
+
+__all__ = ["ShardMap", "EunomiaShard", "ShardCoordinator"]
+
+class ShardMap:
+    """Partition → shard assignment for one datacenter.
+
+    Policies (``EunomiaConfig.shard_policy``):
+
+    * ``"stride"`` — round-robin, partition ``p`` goes to shard ``p % K``;
+    * ``"block"`` — contiguous ranges, partition ``p`` to ``p * K // N``.
+
+    Both keep shard loads within one partition of each other; ``stride``
+    additionally decorrelates a shard's subset from any locality in
+    partition numbering (e.g. one hot rack of consecutive indices).
+    """
+
+    def __init__(self, n_partitions: int, n_shards: int,
+                 policy: str = "stride"):
+        if n_shards < 1:
+            raise ValueError("need at least one Eunomia shard")
+        if n_shards > n_partitions:
+            raise ValueError(
+                f"cannot split {n_partitions} partitions across "
+                f"{n_shards} shards: some shards would track no partition "
+                f"and pin StableTime at zero forever"
+            )
+        if policy == "stride":
+            assign = [p % n_shards for p in range(n_partitions)]
+        elif policy == "block":
+            assign = [p * n_shards // n_partitions
+                      for p in range(n_partitions)]
+        else:
+            raise ValueError(f"unknown shard policy {policy!r}")
+        self.n_partitions = n_partitions
+        self.n_shards = n_shards
+        self.policy = policy
+        self._assign = assign
+
+    def shard_of(self, partition_index: int) -> int:
+        return self._assign[partition_index]
+
+    def owned_by(self, shard_id: int) -> list[int]:
+        """The partition indices a shard stabilizes (ascending)."""
+        return [p for p, s in enumerate(self._assign) if s == shard_id]
+
+
+class EunomiaShard(StabilizerBase):
+    """One of K stabilizer workers: Algorithm 3 over a partition subset."""
+
+    def __init__(self, env: Environment, name: str, site: int,
+                 n_partitions: int, config: EunomiaConfig,
+                 shard_id: int, owned: list[int],
+                 serialize_op_cost: float = 0.0,
+                 stab_round_cost: float = 0.0,
+                 insert_op_cost: float = 0.0,
+                 batch_cost: float = 0.0,
+                 heartbeat_cost: float = 0.0,
+                 metrics: Optional[MetricsHub] = None,
+                 cost_model: Optional[CostModel] = None,
+                 tree_factory: Callable = RedBlackTree):
+        super().__init__(env, name, site, n_partitions, config,
+                         insert_op_cost=insert_op_cost,
+                         batch_cost=batch_cost,
+                         heartbeat_cost=heartbeat_cost,
+                         metrics=metrics, cost_model=cost_model,
+                         tree_factory=tree_factory)
+        if not owned:
+            raise ValueError(f"shard {shard_id} owns no partitions")
+        self.shard_id = shard_id
+        self.owned = sorted(owned)
+        self.serialize_op_cost = serialize_op_cost
+        self.stab_round_cost = stab_round_cost
+        self.coordinator: Optional[Process] = None
+        #: highest ShardStableTime already shipped to the coordinator
+        self.announced = 0
+
+    def set_coordinator(self, coordinator: Process) -> None:
+        self.coordinator = coordinator
+
+    def _stable_floor(self) -> int:
+        """ShardStableTime: only this shard's partitions bound stability."""
+        times = self.partition_time
+        return min(times[p] for p in self.owned)
+
+    def _emit(self, stable_ts: int, ops: list) -> None:
+        """Serialize the stable sub-run and hand it to the coordinator.
+
+        Even an empty run is announced when ShardStableTime advanced — the
+        coordinator's global min cannot move (and other shards' queued ops
+        cannot be released) unless every shard keeps reporting progress.
+        """
+        if self.coordinator is None:
+            return
+        if not ops and stable_ts <= self.announced:
+            return
+        self.announced = stable_ts
+        self.ops_stabilized += len(ops)
+        batch = ShardStableBatch(self.shard_id, stable_ts, tuple(ops))
+        cost = self.stab_round_cost + self.serialize_op_cost * len(ops)
+        self._enqueue(lambda: self.send(self.coordinator, batch), cost)
+
+
+class ShardCoordinator(Process):
+    """Merges shard stable runs into the datacenter-wide stable stream.
+
+    Receives :class:`ShardStableBatch` from each shard (FIFO links keep each
+    shard's runs in announcement order), maintains ``shard_stable[k]`` and
+    per-shard queues of not-yet-released ops, and on every receipt drains
+    everything at or below ``StableTime = min(shard_stable)`` with a K-way
+    streaming merge, then propagates the merged run exactly like the K=1
+    service would.
+    """
+
+    def __init__(self, env: Environment, name: str, site: int,
+                 n_shards: int, config: EunomiaConfig,
+                 forward_op_cost: float = 0.0,
+                 merge_round_cost: float = 0.0,
+                 batch_cost: float = 0.0,
+                 metrics: Optional[MetricsHub] = None,
+                 stable_mark: Optional[str] = None):
+        cost_model = CostModel(costs={"ShardStableBatch": batch_cost})
+        super().__init__(env, name, site=site, cost_model=cost_model)
+        self.n_shards = n_shards
+        self.config = config
+        self.forward_op_cost = forward_op_cost
+        self.merge_round_cost = merge_round_cost
+        self.metrics = metrics or NullMetrics()
+        self.shard_stable = [0] * n_shards
+        self._queues: list[deque] = [deque() for _ in range(n_shards)]
+        self.destinations: list[Process] = []
+        self.stable_time = 0
+        self.ops_stabilized = 0
+        self.merge_rounds = 0
+        self.stable_mark = stable_mark or f"eunomia_stable:dc{site}"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_destination(self, dest: Process) -> None:
+        """Register a remote receiver (or measurement sink)."""
+        self.destinations.append(dest)
+
+    def start(self) -> None:
+        """Event-driven: draining piggybacks on shard announcements."""
+
+    # ------------------------------------------------------------------
+    # Ingestion + merge
+    # ------------------------------------------------------------------
+    def on_shard_stable_batch(self, msg: ShardStableBatch, src: Process) -> None:
+        if msg.stable_ts > self.shard_stable[msg.shard_id]:
+            self.shard_stable[msg.shard_id] = msg.stable_ts
+        if msg.ops:
+            self._queues[msg.shard_id].extend(msg.ops)
+        self._drain()
+
+    def _drain(self) -> None:
+        stable = min(self.shard_stable)
+        if stable > self.stable_time:
+            self.stable_time = stable
+        runs = []
+        for queue in self._queues:
+            run = []
+            while queue and queue[0].ts <= self.stable_time:
+                run.append(queue.popleft())
+            if run:
+                runs.append(run)
+        if not runs:
+            return
+        # Each run is already order_key()-ordered — the same (ts, origin,
+        # seq) key the OpBuffer sorts by — and runs never interleave with
+        # future arrivals (a shard never re-announces below its
+        # ShardStableTime), so a K-way streaming merge re-serializes the
+        # global order.
+        if len(runs) > 1:
+            ops = list(heapq.merge(*runs, key=Update.order_key))
+        else:
+            ops = runs[0]
+        cost = (self.merge_round_cost
+                + self.forward_op_cost * len(ops) * max(1, len(self.destinations)))
+        self._enqueue(lambda: self._propagate(ops), cost)
+
+    def _propagate(self, ops: list) -> None:
+        """Ship one merged stable run to every remote site."""
+        self.merge_rounds += 1
+        self.ops_stabilized += len(ops)
+        now = self.now
+        for op in ops:
+            self.metrics.mark(self.stable_mark, now)
+        batch = RemoteStableBatch(self.site, tuple(ops))
+        for dest in self.destinations:
+            self.send(dest, batch)

@@ -14,6 +14,10 @@ The cost is one extra LAN hop plus up to one flush window of added
 stabilization lag — the trade the paper describes ("a slight increase in
 the stabilization time").
 
+With sharded stabilization (``n_shards > 1``) a relay's partition group may
+span shards, so relays carry a routing table (:meth:`TreeRelay.set_routing`)
+and emit one combined window per owning shard instead of one broadcast.
+
 Relays are supported for the non-fault-tolerant service configuration; the
 fault-tolerant uplink needs per-replica acknowledgement channels that a
 coalescing relay would have to demultiplex (a straightforward but noisy
@@ -67,6 +71,7 @@ class TreeRelay(Process):
         self.flush_cost = flush_cost
         self.metrics = metrics or NullMetrics()
         self.upstream: list[Process] = []
+        self.routing: Optional[dict[int, Process]] = None
         self._batches: list[AddOpBatch] = []
         self._heartbeats: dict[int, PartitionHeartbeat] = {}
         self.messages_in = 0
@@ -78,6 +83,18 @@ class TreeRelay(Process):
     def set_upstream(self, targets: list[Process]) -> None:
         """The next tree level: Eunomia service(s) or a higher relay."""
         self.upstream = list(targets)
+
+    def set_routing(self, routing: dict[int, Process]) -> None:
+        """Route each partition's traffic to its owning Eunomia shard.
+
+        ``routing`` maps a partition index to the upstream process that
+        stabilizes it.  With a routing table installed, each flush emits one
+        :class:`CombinedBatch` *per shard that has traffic* instead of one
+        broadcast — a shard must never ingest (or bound its ShardStableTime
+        by) partitions it does not own.  Unrouted partition indices are a
+        wiring bug and fail loudly at flush time.
+        """
+        self.routing = dict(routing)
 
     def start(self) -> None:
         self.periodic(self.flush_interval, self._flush, cost=self.flush_cost)
@@ -102,12 +119,28 @@ class TreeRelay(Process):
     def _flush(self) -> None:
         if not self._batches and not self._heartbeats:
             return
-        combined = CombinedBatch(tuple(self._batches),
-                                 tuple(self._heartbeats.values()))
-        self._batches = []
-        self._heartbeats = {}
-        for target in self.upstream:
-            self.send(target, combined)
+        batches, self._batches = self._batches, []
+        heartbeats, self._heartbeats = self._heartbeats, {}
+        if self.routing is None:
+            combined = CombinedBatch(tuple(batches),
+                                     tuple(heartbeats.values()))
+            for target in self.upstream:
+                self.send(target, combined)
+                self.messages_out += 1
+            return
+        # Sharded upstream: one combined window per owning shard.  Within a
+        # shard's window, per-partition arrival order is preserved (stable
+        # grouping of an in-order list), so the FIFO sub-streams survive.
+        per_shard: dict[int, tuple[Process, list, list]] = {}
+        for batch in batches:
+            target = self.routing[batch.partition_index]
+            per_shard.setdefault(target.pid, (target, [], []))[1].append(batch)
+        for index, beat in heartbeats.items():
+            target = self.routing[index]
+            per_shard.setdefault(target.pid, (target, [], []))[2].append(beat)
+        for target, shard_batches, shard_beats in per_shard.values():
+            self.send(target, CombinedBatch(tuple(shard_batches),
+                                            tuple(shard_beats)))
             self.messages_out += 1
 
     # ------------------------------------------------------------------

@@ -1,11 +1,12 @@
 """Assembly of one EunomiaKV datacenter.
 
 A datacenter is N partitions (Alg. 2), an Eunomia service — one plain
-:class:`EunomiaService` or a replicated group of :class:`EunomiaReplica` —
-and a receiver (Alg. 5), all wired together.  ``connect`` then links
-datacenters pairwise: every Eunomia replica gains every remote receiver as
-a destination, and every partition learns its remote siblings for the §5
-direct data shipping.
+:class:`EunomiaService`, a replicated group of :class:`EunomiaReplica`, or
+(``n_shards > 1``) K :class:`EunomiaShard` workers behind a merging
+:class:`ShardCoordinator` — and a receiver (Alg. 5), all wired together.
+``connect`` then links datacenters pairwise: every stable-run propagator
+(replica or coordinator) gains every remote receiver as a destination, and
+every partition learns its remote siblings for the §5 direct data shipping.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from ..core.config import EunomiaConfig
 from ..core.partition import EunomiaPartition
 from ..core.replica import EunomiaReplica
 from ..core.service import EunomiaService
+from ..core.shard import EunomiaShard, ShardCoordinator, ShardMap
 from ..datastruct.rbtree import RedBlackTree
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics.collector import MetricsHub, NullMetrics
@@ -62,9 +64,37 @@ class Datacenter:
             )
             self.partitions.append(partition)
 
-        # -- Eunomia service (plain or replicated) -----------------------
+        # -- Eunomia service (plain, replicated, or sharded) ---------------
         self.eunomia_replicas: list[EunomiaService] = []
-        if config.fault_tolerant:
+        self.shards: list[EunomiaShard] = []
+        self.coordinator: Optional[ShardCoordinator] = None
+        self.shard_map: Optional[ShardMap] = None
+        if config.n_shards > 1:
+            self.shard_map = ShardMap(n_partitions, config.n_shards,
+                                      config.shard_policy)
+            self.coordinator = ShardCoordinator(
+                env, f"dc{dc_id}/eunomia-coord", dc_id, config.n_shards,
+                config,
+                forward_op_cost=cal.cost("eunomia_coord_op"),
+                merge_round_cost=cal.overhead("eunomia_coord_round"),
+                batch_cost=cal.overhead("eunomia_batch"),
+                metrics=self.metrics,
+            )
+            for sid in range(config.n_shards):
+                shard = EunomiaShard(
+                    env, f"dc{dc_id}/eunomia-shard{sid}", dc_id,
+                    n_partitions, config, shard_id=sid,
+                    owned=self.shard_map.owned_by(sid),
+                    serialize_op_cost=cal.cost("eunomia_shard_serialize_op"),
+                    stab_round_cost=cal.overhead("eunomia_stab_round"),
+                    insert_op_cost=cal.cost("eunomia_insert_op"),
+                    batch_cost=cal.overhead("eunomia_batch"),
+                    heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+                    metrics=self.metrics, tree_factory=tree_factory,
+                )
+                shard.set_coordinator(self.coordinator)
+                self.shards.append(shard)
+        elif config.fault_tolerant:
             for rid in range(config.n_replicas):
                 replica = EunomiaReplica(
                     env, f"dc{dc_id}/eunomia{rid}", dc_id, n_partitions,
@@ -99,7 +129,7 @@ class Datacenter:
         )
         self.receiver.set_partitions(ring, self.partitions)
 
-        # -- §5 propagation tree (optional) -------------------------------
+        # -- partition → stabilizer wiring (§5 tree optional) --------------
         self.relays = []
         if config.use_propagation_tree:
             from ..core.tree import TreeRelay
@@ -114,10 +144,20 @@ class Datacenter:
                     flush_cost=cal.overhead("relay_flush"),
                     metrics=self.metrics,
                 )
-                relay.set_upstream(self.eunomia_replicas)
+                if self.shards:
+                    relay.set_upstream(self.shards)
+                    relay.set_routing({
+                        p.index: self.shards[self.shard_map.shard_of(p.index)]
+                        for p in group})
+                else:
+                    relay.set_upstream(self.eunomia_replicas)
                 for partition in group:
                     partition.set_eunomia([relay])
                 self.relays.append(relay)
+        elif self.shards:
+            for partition in self.partitions:
+                owner = self.shards[self.shard_map.shard_of(partition.index)]
+                partition.set_eunomia([owner])
         else:
             for partition in self.partitions:
                 partition.set_eunomia(self.eunomia_replicas)
@@ -129,10 +169,16 @@ class Datacenter:
         """Wire this datacenter to a remote one (directional; call both ways)."""
         if other.dc_id == self.dc_id:
             raise ValueError("cannot connect a datacenter to itself")
-        for replica in self.eunomia_replicas:
-            replica.add_destination(other.receiver)
+        for propagator in self.propagators():
+            propagator.add_destination(other.receiver)
         for mine, theirs in zip(self.partitions, other.partitions):
             mine.set_sibling(other.dc_id, theirs)
+
+    def propagators(self) -> list:
+        """The processes that ship stable runs to remote receivers."""
+        if self.coordinator is not None:
+            return [self.coordinator]
+        return list(self.eunomia_replicas)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -142,6 +188,10 @@ class Datacenter:
             partition.start()
         for relay in self.relays:
             relay.start()
+        for shard in self.shards:
+            shard.start()
+        if self.coordinator is not None:
+            self.coordinator.start()
         for replica in self.eunomia_replicas:
             replica.start()
         self.receiver.start()
@@ -149,8 +199,11 @@ class Datacenter:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def leader(self) -> EunomiaService:
-        """The replica currently believed (by itself) to lead; non-FT: the service."""
+    def leader(self):
+        """The process shipping stable runs: the leading replica, the plain
+        service, or (sharded) the coordinator."""
+        if self.coordinator is not None:
+            return self.coordinator
         for replica in self.eunomia_replicas:
             if not replica.crashed and getattr(replica, "is_leader", lambda: True)():
                 return replica

@@ -55,17 +55,26 @@ INTRA_DC_LATENCY = 0.00015  # 150 µs LAN hop, as in the geo deployments
 
 
 class RemoteSink(Process):
-    """Counts ordered updates arriving from a service (a remote DC stand-in)."""
+    """Counts ordered updates arriving from a service (a remote DC stand-in).
+
+    Set ``record = True`` (before the run) to also keep the exact arrival
+    sequence of update uids — the sharded-determinism tests compare these
+    across shard counts.
+    """
 
     def __init__(self, env: Environment, name: str = "sink"):
         super().__init__(env, name, site=1)
         self.received = 0
         self.last_batch_ts = 0
+        self.record = False
+        self.collected: list[tuple] = []
 
     def on_remote_stable_batch(self, msg, src: Process) -> None:
         self.received += len(msg.ops)
         if msg.ops:
             self.last_batch_ts = msg.ops[-1].ts
+            if self.record:
+                self.collected.extend(op.uid for op in msg.ops)
 
 
 class PartitionEmulator(Process):
@@ -202,6 +211,9 @@ def build_eunomia_rig(n_partitions: int,
     env = Environment(seed=seed)
     Network(env, ConstantLatency(INTRA_DC_LATENCY))
 
+    if config.n_shards > 1:
+        return _build_sharded_rig(env, n_partitions, config, cal, metrics)
+
     services: list[EunomiaService] = []
     if config.fault_tolerant:
         for rid in range(config.n_replicas):
@@ -256,6 +268,69 @@ def build_eunomia_rig(n_partitions: int,
     else:
         for driver in drivers:
             driver.set_eunomia(services)
+
+    return ServiceRig(env, metrics, drivers, service_processes, sink,
+                      throughput_mark="eunomia_stable:dc0")
+
+
+def _build_sharded_rig(env: Environment, n_partitions: int,
+                       config: EunomiaConfig, cal: Calibration,
+                       metrics: MetricsHub) -> ServiceRig:
+    """K Eunomia shards + merging coordinator under emulator load."""
+    from ..core.shard import EunomiaShard, ShardCoordinator, ShardMap
+
+    shard_map = ShardMap(n_partitions, config.n_shards, config.shard_policy)
+    coordinator = ShardCoordinator(
+        env, "eunomia-coord", 0, config.n_shards, config,
+        forward_op_cost=cal.cost("eunomia_coord_op"),
+        merge_round_cost=cal.overhead("eunomia_coord_round"),
+        batch_cost=cal.overhead("eunomia_batch"),
+        metrics=metrics, stable_mark="eunomia_stable:dc0",
+    )
+    shards = []
+    for sid in range(config.n_shards):
+        shard = EunomiaShard(
+            env, f"eunomia-shard{sid}", 0, n_partitions, config,
+            shard_id=sid, owned=shard_map.owned_by(sid),
+            serialize_op_cost=cal.cost("eunomia_shard_serialize_op"),
+            stab_round_cost=cal.overhead("eunomia_stab_round"),
+            insert_op_cost=cal.cost("eunomia_insert_op"),
+            batch_cost=cal.overhead("eunomia_batch"),
+            heartbeat_cost=cal.overhead("eunomia_heartbeat"),
+            metrics=metrics,
+        )
+        shard.set_coordinator(coordinator)
+        shards.append(shard)
+
+    sink = RemoteSink(env)
+    coordinator.add_destination(sink)
+
+    drivers = [
+        PartitionEmulator(env, f"part{i}", i, config, calibration=cal,
+                          metrics=metrics)
+        for i in range(n_partitions)
+    ]
+    service_processes: list[Process] = list(shards) + [coordinator]
+    if config.use_propagation_tree:
+        from ..core.tree import TreeRelay
+
+        groups = [drivers[i:i + config.tree_fanout]
+                  for i in range(0, n_partitions, config.tree_fanout)]
+        for g, group in enumerate(groups):
+            relay = TreeRelay(env, f"relay{g}", 0,
+                              flush_interval=config.tree_flush_interval,
+                              forward_cost=cal.overhead("relay_forward"),
+                              flush_cost=cal.overhead("relay_flush"),
+                              metrics=metrics)
+            relay.set_upstream(shards)
+            relay.set_routing({d.index: shards[shard_map.shard_of(d.index)]
+                               for d in group})
+            for driver in group:
+                driver.set_eunomia([relay])
+            service_processes.append(relay)
+    else:
+        for driver in drivers:
+            driver.set_eunomia([shards[shard_map.shard_of(driver.index)]])
 
     return ServiceRig(env, metrics, drivers, service_processes, sink,
                       throughput_mark="eunomia_stable:dc0")

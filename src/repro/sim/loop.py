@@ -36,18 +36,29 @@ class Event:
     O(1).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_loop")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple, loop: "Optional[EventLoop]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the event from firing.  Idempotent; a no-op after firing.
+
+        The loop detaches itself when the event fires, so a late cancel
+        (e.g. a timeout cancelled after it already went off) cannot skew
+        the loop's live-event counter.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._loop is not None:
+                self._loop._pending -= 1
+                self._loop = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -80,6 +91,7 @@ class EventLoop:
         self._now: float = 0.0
         self._running = False
         self._processed = 0
+        self._pending = 0     # live (scheduled, not cancelled, not fired)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,8 +107,12 @@ class EventLoop:
         return self._processed
 
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events.
+
+        O(1): a live counter maintained on schedule/cancel/pop, so monitors
+        can poll it every tick without scanning the heap.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -113,8 +129,9 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, already at t={self._now!r}"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, self)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     # ------------------------------------------------------------------
@@ -126,6 +143,8 @@ class EventLoop:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._pending -= 1
+            event._loop = None    # fired: a late cancel() must not decrement
             self._now = event.time
             self._processed += 1
             event.fn(*event.args)
@@ -154,6 +173,8 @@ class EventLoop:
                 if max_events is not None and fired >= max_events:
                     break
                 heapq.heappop(self._heap)
+                self._pending -= 1
+                event._loop = None    # fired: late cancel() must not decrement
                 self._now = event.time
                 self._processed += 1
                 event.fn(*event.args)

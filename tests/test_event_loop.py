@@ -118,6 +118,62 @@ def test_pending_excludes_cancelled():
     assert loop.pending() == 1
 
 
+def test_pending_counter_tracks_schedule_cancel_and_pop():
+    """pending() is a live counter (O(1)), not a heap scan — it must stay
+    exact through every combination of firing, cancellation (including
+    double-cancel), and partial runs."""
+    loop = EventLoop()
+    events = [loop.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert loop.pending() == 6
+    events[4].cancel()
+    events[4].cancel()          # idempotent: must not decrement twice
+    assert loop.pending() == 5
+    loop.step()                 # fires t=1
+    assert loop.pending() == 4
+    loop.run(until=3.0)         # fires t=2, t=3
+    assert loop.pending() == 2
+    events[5].cancel()
+    assert loop.pending() == 1
+    loop.run()                  # fires t=4; cancelled t=5/t=6 lazily popped
+    assert loop.pending() == 0
+    assert not loop._heap
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    """A handle cancelled after its event already fired (e.g. a timeout
+    cancelled on completion) must be a no-op, not a double decrement."""
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    loop.run()
+    assert loop.pending() == 0
+    event.cancel()
+    event.cancel()
+    assert loop.pending() == 0
+    assert event.cancelled  # the flag still reads as cancelled (harmless)
+    loop.schedule(2.0, lambda: None)
+    assert loop.pending() == 1
+
+
+def test_pending_is_constant_time_under_large_heaps():
+    """The counter must not degrade into an O(heap) scan again: polling
+    pending() many times against a large heap has to stay far cheaper than
+    the equivalent scans."""
+    import time
+
+    loop = EventLoop()
+    for i in range(50_000):
+        loop.schedule(float(i), lambda: None)
+    polls = 10_000
+    start = time.perf_counter()
+    for _ in range(polls):
+        loop.pending()
+    elapsed = time.perf_counter() - start
+    # 10k O(1) polls are microseconds each even on slow CI; 10k O(heap)
+    # scans of a 50k heap would take tens of seconds.
+    assert elapsed < 1.0
+    assert loop.pending() == 50_000
+
+
 def test_loop_is_not_reentrant():
     loop = EventLoop()
     errors = []

@@ -1,0 +1,374 @@
+"""Tests for sharded Eunomia stabilization (shards + merging coordinator).
+
+The load-bearing property: for the same input timelines, the K-shard
+deployment must emit *op-for-op the same stable serialization* as the K=1
+single stabilizer — sharding is an implementation strategy, not a semantic
+change (Properties 1–2 preserved through the K-way merge).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import CausalChecker, SessionHistory
+from repro.core import (
+    EunomiaConfig,
+    EunomiaService,
+    EunomiaShard,
+    ShardCoordinator,
+    ShardMap,
+    TreeRelay,
+)
+from repro.core.messages import AddOpBatch, PartitionHeartbeat, ShardStableBatch
+from repro.geo.system import GeoSystemSpec, build_eunomia_system
+from repro.harness.loadgen import build_eunomia_rig
+from repro.kvstore.types import Update
+from repro.sim import ConstantLatency, Environment, Network, Process
+from repro.workload import WorkloadSpec
+
+
+def make_op(ts, partition=0, seq=None):
+    return Update(key=f"k{ts}", value=None, origin_dc=0,
+                  partition_index=partition,
+                  seq=seq if seq is not None else ts,
+                  ts=ts, vts=(ts,), commit_time=0.0)
+
+
+class Sink(Process):
+    def __init__(self, env):
+        super().__init__(env, "sink", site=1)
+        self.batches = []
+
+    def on_remote_stable_batch(self, msg, src):
+        self.batches.append(msg)
+
+    @property
+    def ops(self):
+        return [op for batch in self.batches for op in batch.ops]
+
+
+class ShardSink(Process):
+    """Collects ShardStableBatch (stands in for the coordinator)."""
+
+    def __init__(self, env):
+        super().__init__(env, "shard-sink", site=0)
+        self.batches = []
+
+    def on_shard_stable_batch(self, msg, src):
+        self.batches.append(msg)
+
+
+# ----------------------------------------------------------------------
+# ShardMap / config validation
+# ----------------------------------------------------------------------
+class TestShardAssignment:
+    def test_stride_policy_round_robins(self):
+        m = ShardMap(8, 4, "stride")
+        assert [m.shard_of(p) for p in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert m.owned_by(1) == [1, 5]
+
+    def test_block_policy_is_contiguous(self):
+        m = ShardMap(8, 3, "block")
+        owned = [m.owned_by(s) for s in range(3)]
+        assert owned == [[0, 1, 2], [3, 4, 5], [6, 7]]
+
+    def test_every_shard_owns_something(self):
+        for n_parts in (2, 3, 8, 13):
+            for k in range(1, n_parts + 1):
+                for policy in ("stride", "block"):
+                    m = ShardMap(n_parts, k, policy)
+                    assert all(m.owned_by(s) for s in range(k))
+                    assert sorted(sum((m.owned_by(s) for s in range(k)), [])) \
+                        == list(range(n_parts))
+
+    def test_more_shards_than_partitions_rejected(self):
+        with pytest.raises(ValueError, match="some shards would track no"):
+            ShardMap(2, 4)
+
+    def test_zero_shards_rejected_by_config(self):
+        with pytest.raises(ValueError, match="at least one Eunomia shard"):
+            EunomiaConfig(n_shards=0).validate()
+
+    def test_sharding_with_fault_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="sharded stabilization"):
+            EunomiaConfig(n_shards=2, fault_tolerant=True,
+                          n_replicas=2).validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard policy"):
+            EunomiaConfig(n_shards=2, shard_policy="hash").validate()
+
+    def test_oversharded_deployment_rejected_at_build(self):
+        with pytest.raises(ValueError, match="some shards would track no"):
+            build_eunomia_system(
+                GeoSystemSpec(n_dcs=2, partitions_per_dc=2, clients_per_dc=1),
+                WorkloadSpec(), config=EunomiaConfig(n_shards=4))
+
+
+# ----------------------------------------------------------------------
+# Determinism: K-shard output == K=1 output, op for op
+# ----------------------------------------------------------------------
+def run_stabilization(ts_by_partition, n_shards, batch_size=3):
+    """Feed fixed per-partition timelines; return the emitted stable order."""
+    env = Environment(seed=42)
+    Network(env, ConstantLatency(0.0001))
+    n_parts = len(ts_by_partition)
+    config = EunomiaConfig(stabilization_interval=0.004, n_shards=n_shards)
+    sink = Sink(env)
+
+    if n_shards == 1:
+        service = EunomiaService(env, "eunomia", 0, n_parts, config)
+        service.add_destination(sink)
+        service.start()
+        targets = {p: service for p in range(n_parts)}
+    else:
+        shard_map = ShardMap(n_parts, n_shards, config.shard_policy)
+        coordinator = ShardCoordinator(env, "coord", 0, n_shards, config)
+        coordinator.add_destination(sink)
+        targets = {}
+        for sid in range(n_shards):
+            shard = EunomiaShard(env, f"shard{sid}", 0, n_parts, config,
+                                 shard_id=sid, owned=shard_map.owned_by(sid))
+            shard.set_coordinator(coordinator)
+            shard.start()
+            for p in shard.owned:
+                targets[p] = shard
+        coordinator.start()
+
+    feeder = Process(env, "feeder")
+    top = 0
+    for p, ts_list in enumerate(ts_by_partition):
+        ops = [make_op(ts, p, seq=i + 1) for i, ts in enumerate(ts_list)]
+        prev = 0
+        for i in range(0, len(ops), batch_size):
+            chunk = ops[i:i + batch_size]
+            feeder.send(targets[p], AddOpBatch(p, tuple(chunk), prev_ts=prev))
+            prev = chunk[-1].ts
+        if ts_list:
+            top = max(top, ts_list[-1])
+    # Final heartbeats push every PartitionTime past the last op so the
+    # entire timeline becomes stable and drains.
+    for p in range(n_parts):
+        feeder.send(targets[p], PartitionHeartbeat(p, top + 1))
+    env.run(until=1.0)
+    return [op.uid for op in sink.ops]
+
+
+timelines = st.lists(
+    st.lists(st.integers(min_value=1, max_value=500),
+             min_size=0, max_size=24),
+    min_size=4, max_size=8,
+).map(lambda per_part: [sorted(set(ts)) for ts in per_part])
+
+
+class TestMergeDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(timelines=timelines, n_shards=st.sampled_from([2, 3, 4]))
+    def test_sharded_output_identical_to_single_stabilizer(
+            self, timelines, n_shards):
+        """Property 1 + determinism: identical stable serialization for any
+        K — the K-way merge re-creates the (ts, origin, seq) total order."""
+        reference = run_stabilization(timelines, n_shards=1)
+        assert run_stabilization(timelines, n_shards=n_shards) == reference
+
+    def test_block_policy_also_matches(self):
+        tls = [[10, 30, 50], [20, 40], [15, 35, 55], [25, 45]]
+        reference = run_stabilization(tls, n_shards=1)
+        env_out = run_stabilization(tls, n_shards=2)
+        assert env_out == reference
+
+    def test_laggard_shard_holds_back_global_stable_time(self):
+        """An op above min(ShardStableTime) must wait at the coordinator."""
+        env = Environment(seed=7)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(n_shards=2)
+        coordinator = ShardCoordinator(env, "coord", 0, 2, config)
+        sink = Sink(env)
+        coordinator.add_destination(sink)
+        feeder = Process(env, "feeder")
+        feeder.send(coordinator, ShardStableBatch(0, 100, (make_op(80, 0),)))
+        env.run(until=0.01)
+        # shard 1 silent: min(ShardStableTime) == 0, nothing released
+        assert sink.ops == []
+        assert coordinator.stable_time == 0
+        feeder.send(coordinator, ShardStableBatch(1, 90, (make_op(85, 1),)))
+        env.run(until=0.02)
+        # global StableTime = min(100, 90) = 90 releases both queued runs
+        assert coordinator.stable_time == 90
+        assert [op.ts for op in sink.ops] == [80, 85]
+
+    def test_empty_announcements_advance_stable_time(self):
+        env = Environment(seed=8)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(n_shards=2)
+        coordinator = ShardCoordinator(env, "coord", 0, 2, config)
+        sink = Sink(env)
+        coordinator.add_destination(sink)
+        feeder = Process(env, "feeder")
+        feeder.send(coordinator, ShardStableBatch(0, 50, (make_op(42, 0),)))
+        feeder.send(coordinator, ShardStableBatch(1, 40, ()))  # idle shard
+        env.run(until=0.01)
+        assert coordinator.stable_time == 40
+        assert sink.ops == []          # 42 > 40 still unstable
+        feeder.send(coordinator, ShardStableBatch(1, 60, ()))
+        env.run(until=0.02)
+        assert [op.ts for op in sink.ops] == [42]
+
+    def test_shard_only_bounded_by_owned_partitions(self):
+        """A shard's ShardStableTime ignores partitions it does not own."""
+        env = Environment(seed=9)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(stabilization_interval=0.004, n_shards=2)
+        shard = EunomiaShard(env, "shard0", 0, 4, config,
+                             shard_id=0, owned=[0, 2])
+        shard_sink = ShardSink(env)
+        shard.set_coordinator(shard_sink)
+        shard.start()
+        feeder = Process(env, "feeder")
+        feeder.send(shard, AddOpBatch(0, (make_op(10, 0),)))
+        feeder.send(shard, AddOpBatch(2, (make_op(20, 2),)))
+        env.run(until=0.05)
+        # partitions 1 and 3 are silent but unowned — stability unaffected
+        assert shard.announced == 10
+        assert [op.ts for b in shard_sink.batches for op in b.ops] == [10]
+
+
+# ----------------------------------------------------------------------
+# TreeRelay → shard routing
+# ----------------------------------------------------------------------
+class Upstream(Process):
+    def __init__(self, env, name):
+        super().__init__(env, name, site=0)
+        self.combined = []
+
+    def on_combined_batch(self, msg, src):
+        self.combined.append(msg)
+
+
+class TestRelayShardRouting:
+    @pytest.fixture
+    def routed_relay(self, env, net):
+        relay = TreeRelay(env, "relay", 0, flush_interval=0.002)
+        shard_a, shard_b = Upstream(env, "shardA"), Upstream(env, "shardB")
+        relay.set_upstream([shard_a, shard_b])
+        relay.set_routing({0: shard_a, 1: shard_a, 2: shard_b})
+        relay.start()
+        feeder = Process(env, "feeder")
+        return env, relay, shard_a, shard_b, feeder
+
+    def test_traffic_routed_to_owning_shard(self, routed_relay):
+        env, relay, shard_a, shard_b, feeder = routed_relay
+        feeder.send(relay, AddOpBatch(0, (make_op(1, 0),)))
+        feeder.send(relay, AddOpBatch(2, (make_op(2, 2),)))
+        feeder.send(relay, AddOpBatch(1, (make_op(3, 1),)))
+        feeder.send(relay, PartitionHeartbeat(2, 99))
+        env.run(until=0.01)
+        assert len(shard_a.combined) == 1 and len(shard_b.combined) == 1
+        a = shard_a.combined[0]
+        assert [b.partition_index for b in a.batches] == [0, 1]
+        assert a.heartbeats == ()
+        b = shard_b.combined[0]
+        assert [bt.partition_index for bt in b.batches] == [2]
+        assert [hb.partition_index for hb in b.heartbeats] == [2]
+
+    def test_per_partition_order_preserved_within_shard_window(
+            self, routed_relay):
+        env, relay, shard_a, _, feeder = routed_relay
+        feeder.send(relay, AddOpBatch(0, (make_op(1, 0),)))
+        feeder.send(relay, AddOpBatch(0, (make_op(2, 0),)))
+        feeder.send(relay, AddOpBatch(1, (make_op(5, 1),)))
+        env.run(until=0.01)
+        batches = shard_a.combined[0].batches
+        assert [b.ops[0].ts for b in batches] == [1, 2, 5]
+
+    def test_shard_without_traffic_gets_no_window(self, routed_relay):
+        env, relay, shard_a, shard_b, feeder = routed_relay
+        feeder.send(relay, AddOpBatch(0, (make_op(1, 0),)))
+        env.run(until=0.01)
+        assert len(shard_a.combined) == 1
+        assert shard_b.combined == []
+
+    def test_unrouted_partition_fails_loudly(self, routed_relay):
+        env, relay, _, _, feeder = routed_relay
+        feeder.send(relay, AddOpBatch(7, (make_op(1, 7),)))
+        with pytest.raises(KeyError):
+            env.run(until=0.01)
+
+    def test_broadcast_preserved_without_routing(self, env, net):
+        relay = TreeRelay(env, "relay", 0, flush_interval=0.002)
+        up = [Upstream(env, "u0"), Upstream(env, "u1")]
+        relay.set_upstream(up)
+        relay.start()
+        feeder = Process(env, "feeder")
+        feeder.send(relay, AddOpBatch(0, (make_op(1, 0),)))
+        env.run(until=0.01)
+        assert len(up[0].combined) == len(up[1].combined) == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end: rigs and geo deployments
+# ----------------------------------------------------------------------
+class TestShardedEndToEnd:
+    @staticmethod
+    def _drained_rig_sequence(n_shards, use_tree=False):
+        config = EunomiaConfig(n_shards=n_shards,
+                               use_propagation_tree=use_tree, tree_fanout=4)
+        rig = build_eunomia_rig(8, config=config, seed=21)
+        rig.sink.record = True
+        rig.run(0.4)
+        for driver in rig.drivers:
+            driver.stop()
+        rig.env.run(until=rig.env.now + 0.6)   # drain: heartbeats stabilize all
+        return rig.sink.collected
+
+    def test_rig_sequence_identical_across_shard_counts(self):
+        """End-to-end determinism: same seed, same ops, K ∈ {1, 2, 4}."""
+        reference = self._drained_rig_sequence(1)
+        assert reference, "K=1 emitted nothing"
+        for k in (2, 4):
+            assert self._drained_rig_sequence(k) == reference, \
+                f"K={k} diverged from K=1"
+
+    def test_rig_sequence_identical_with_relay_routing(self):
+        """Determinism also holds with the §5 tree routing to shards."""
+        reference = self._drained_rig_sequence(1)
+        assert self._drained_rig_sequence(4, use_tree=True) == reference
+
+    def test_sharded_geo_system_converges_and_is_causal(self):
+        config = EunomiaConfig(n_shards=2)
+        history = SessionHistory()
+        system = build_eunomia_system(
+            GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=3,
+                          seed=5),
+            WorkloadSpec(read_ratio=0.8, n_keys=60),
+            config=config, history=history)
+        system.run(3.0)
+        system.quiesce(3.0)
+        assert system.converged()
+        assert CausalChecker(history).check() == []
+        dc = system.datacenters[0]
+        assert len(dc.shards) == 2
+        assert dc.coordinator is not None
+        assert dc.coordinator.ops_stabilized > 0
+        assert dc.leader() is dc.coordinator
+
+    def test_sharded_geo_with_propagation_tree_converges(self):
+        config = EunomiaConfig(n_shards=2, use_propagation_tree=True,
+                               tree_fanout=2)
+        system = build_eunomia_system(
+            GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=3,
+                          seed=6),
+            WorkloadSpec(read_ratio=0.8, n_keys=60), config=config)
+        system.run(3.0)
+        system.quiesce(3.0)
+        assert system.converged()
+        assert len(system.datacenters[0].relays) == 2
+
+    def test_single_shard_config_uses_plain_service(self):
+        system = build_eunomia_system(
+            GeoSystemSpec(n_dcs=2, partitions_per_dc=2, clients_per_dc=1,
+                          seed=3),
+            WorkloadSpec(), config=EunomiaConfig(n_shards=1))
+        dc = system.datacenters[0]
+        assert dc.shards == [] and dc.coordinator is None
+        assert isinstance(dc.eunomia_replicas[0], EunomiaService)
