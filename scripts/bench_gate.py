@@ -13,9 +13,9 @@ after the smoke benchmarks:
 ``--normalize`` judges each benchmark relative to the run's overall
 machine-speed factor so heterogeneous CI runners do not trip the gate;
 omit it when comparing runs from the same machine.  Only benchmarks
-matching ``--gate`` (default: the sim-core hot paths) can fail the run;
-noisier suites (e.g. the tree micro-benches) are compared and reported
-as informational.
+matching ``--gate`` (default: the sim-core hot paths and the op-buffer
+ingestion path) can fail the run; noisier suites (e.g. the raw tree
+micro-benches) are compared and reported as informational.
 
 Benchmarks present in only one of the two files are reported but do not
 fail the gate (new benchmarks land before their baseline; retired ones
@@ -133,11 +133,13 @@ def main(argv: list[str] | None = None) -> int:
                              "speed factor (median fresh/baseline ratio) "
                              "before comparing — use on CI, where runner "
                              "hardware differs from the baseline machine")
-    parser.add_argument("--gate", default="bench_sim_core",
+    parser.add_argument("--gate",
+                        default="bench_sim_core|bench_opbuffer_ingestion",
                         help="regex: only matching benchmarks can fail the "
-                             "gate; the rest are informational (default "
-                             "'bench_sim_core' — the hot paths every "
-                             "experiment rides on; pass '' to gate all)")
+                             "gate; the rest are informational (default: "
+                             "the sim-core hot paths every experiment rides "
+                             "on plus the op-buffer ingestion path the "
+                             "stabilizers ride on; pass '' to gate all)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="replace the baseline with the fresh run and "
                              "exit 0 (use after intentional perf changes)")

@@ -17,6 +17,13 @@ clock.  With NTP-disciplined clocks the wait is sub-millisecond; we use the
 hybrid-clock bump instead of an artificial sleep, which has the same
 ordering effect and differs only by that negligible wait (§3.2 of the
 Eunomia paper discusses exactly this trade).
+
+The deferred-update set is run-aware by default (``pending_backend="runs"``):
+each remote sibling's stream arrives over a FIFO link with strictly
+increasing timestamps, so a per-origin :class:`~repro.datastruct.runbuffer.
+RunBuffer` gives O(1) deferral and a merge-on-release drain — the same
+monotonicity argument as Eunomia's own buffer.  ``"heap"`` retains the
+classic global binary heap as an ablation.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import Optional
 from ..calibration import Calibration
 from ..clocks.physical import PhysicalClock
 from ..core.messages import ClientUpdate
+from ..datastruct.runbuffer import RunBuffer
 from ..geo.system import GeoSystem, GeoSystemSpec
 from ..kvstore.types import Update
 from ..metrics.collector import MetricsHub
@@ -36,6 +44,16 @@ from ..workload.generator import WorkloadSpec
 from .gst import GstPartition, GstTimings, build_gst_system
 
 __all__ = ["GentleRainPartition", "build_gentlerain_system"]
+
+PENDING_BACKENDS = ("runs", "heap")
+
+
+def _check_pending_backend(pending_backend: str) -> None:
+    if pending_backend not in PENDING_BACKENDS:
+        raise ValueError(
+            f"unknown pending backend {pending_backend!r} "
+            f"(expected one of {', '.join(PENDING_BACKENDS)})"
+        )
 
 
 class GentleRainPartition(GstPartition):
@@ -50,7 +68,8 @@ class GentleRainPartition(GstPartition):
     def __init__(self, env: Environment, name: str, dc_id: int, index: int,
                  n_dcs: int, clock: PhysicalClock, timings: GstTimings,
                  calibration: Optional[Calibration] = None,
-                 metrics: Optional[MetricsHub] = None):
+                 metrics: Optional[MetricsHub] = None,
+                 pending_backend: str = "runs"):
         cal = calibration or Calibration()
         cost_model = CostModel(costs={
             "ClientRead": (cal.cost("partition_read")
@@ -65,6 +84,10 @@ class GentleRainPartition(GstPartition):
         super().__init__(env, name, dc_id, index, n_dcs, clock, timings,
                          summary_width=1, cost_model=cost_model,
                          metrics=metrics)
+        _check_pending_backend(pending_backend)
+        self.pending_backend = pending_backend
+        if pending_backend == "runs":
+            self._pending = RunBuffer()
 
     # -- timestamping ----------------------------------------------------
     def _stamp(self, msg: ClientUpdate) -> Update:
@@ -82,12 +105,22 @@ class GentleRainPartition(GstPartition):
         return update.ts <= self.summary[0]
 
     def _defer(self, update: Update, arrival: float) -> None:
+        if self.pending_backend == "runs":
+            # O(1): each sibling's stream is FIFO with strictly increasing
+            # hybrid timestamps, so per-origin runs stay sorted by appending.
+            self._pending.add(update.ts, update.origin_dc, update.seq,
+                              (update, arrival))
+            return
         self._pending_seq += 1
         heapq.heappush(self._pending,
                        (update.ts, self._pending_seq, update, arrival))
 
     def _release_ready(self) -> None:
         gst = self.summary[0]
+        if self.pending_backend == "runs":
+            for update, arrival in self._pending.pop_stable(gst):
+                self._install(update, arrival)
+            return
         while self._pending and self._pending[0][0] <= gst:
             _, _, update, arrival = heapq.heappop(self._pending)
             self._install(update, arrival)
@@ -97,10 +130,22 @@ class GentleRainPartition(GstPartition):
         return (min(self.vv),)
 
 
+class _HeapGentleRainPartition(GentleRainPartition):
+    """GentleRain with the classic global pending heap (ablation)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["pending_backend"] = "heap"
+        super().__init__(*args, **kwargs)
+
+
 def build_gentlerain_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                             timings: Optional[GstTimings] = None,
                             metrics: Optional[MetricsHub] = None,
-                            history=None) -> GeoSystem:
+                            history=None,
+                            pending_backend: str = "runs") -> GeoSystem:
     """Assemble a GentleRain deployment on the shared frame."""
-    return build_gst_system(spec, workload, GentleRainPartition,
+    _check_pending_backend(pending_backend)
+    cls = (GentleRainPartition if pending_backend == "runs"
+           else _HeapGentleRainPartition)
+    return build_gst_system(spec, workload, cls,
                             timings=timings, metrics=metrics, history=history)

@@ -97,7 +97,11 @@ class GstPartition(Process):
         self.aggregator: Optional[Process] = None
         self.local_partitions: list[Process] = []   # aggregator only
         self._reports: dict[int, tuple] = {}        # aggregator only
-        self._pending: list = []               # flavor-specific container
+        # Flavor-specific deferred-update container: GentleRain swaps in a
+        # RunBuffer ("runs" backend) or keeps this heap-ordered list; Cure
+        # scans a plain list (vector gates are not totally ordered).  All
+        # choices support len() for pending_count().
+        self._pending = []
         self._pending_seq = 0
         self.local_updates = 0
         self.remote_applies = 0

@@ -73,6 +73,13 @@ class EunomiaConfig:
     #: ``"block"`` (contiguous ranges).  See :class:`~repro.core.shard.ShardMap`.
     shard_policy: str = "stride"
 
+    #: Unstable-op buffer strategy: ``"runs"`` (per-origin monotone runs,
+    #: O(1) ingestion + k-way-merge FIND_STABLE — safe because Alg. 3's
+    #: PartitionTime dedup guarantees per-partition monotone inserts),
+    #: ``"rbtree"`` (the paper's §6 structure), or ``"avl"`` (ablation).
+    #: All three emit bit-identical stable serializations.
+    buffer_backend: str = "runs"
+
     def validate(self) -> None:
         """Sanity-check interval relationships; raises ValueError."""
         if self.n_replicas < 1:
@@ -105,4 +112,11 @@ class EunomiaConfig:
             raise ValueError(
                 f"unknown shard policy {self.shard_policy!r} "
                 "(expected 'stride' or 'block')"
+            )
+        from ..datastruct.opbuffer import BUFFER_BACKENDS
+
+        if self.buffer_backend not in BUFFER_BACKENDS:
+            raise ValueError(
+                f"unknown buffer backend {self.buffer_backend!r} "
+                f"(expected one of {', '.join(BUFFER_BACKENDS)})"
             )

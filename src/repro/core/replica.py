@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..datastruct.rbtree import RedBlackTree
 from ..metrics.collector import MetricsHub
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
@@ -49,7 +48,7 @@ class EunomiaReplica(EunomiaService):
                  heartbeat_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Callable = RedBlackTree,
+                 tree_factory: Optional[Callable] = None,
                  stable_mark: Optional[str] = None):
         super().__init__(env, name, site, n_partitions, config,
                          propagate_op_cost=propagate_op_cost,

@@ -8,8 +8,12 @@ guarantee no partition will ever produce a smaller timestamp, so everything
 at or below ``StableTime`` can be serialized — in timestamp order, which by
 Property 1 is consistent with causality — and shipped to remote datacenters.
 
-The unstable set is a red–black tree (§6); extraction of the stable prefix
-is :meth:`repro.datastruct.opbuffer.OpBuffer.pop_stable`.
+The unstable set lives behind the :func:`repro.datastruct.opbuffer.OpBuffer`
+strategy facade (``EunomiaConfig.buffer_backend``): per-origin monotone runs
+by default — Alg. 3's PartitionTime dedup guarantees the strictly increasing
+per-partition inserts the run buffer requires — with the paper's §6
+red–black tree (and the AVL ablation) retained as tree backends.  Extraction
+of the stable prefix is the backend's ``pop_stable``.
 
 Two deployments share the machinery in :class:`StabilizerBase`:
 
@@ -33,7 +37,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..datastruct.opbuffer import OpBuffer
-from ..datastruct.rbtree import RedBlackTree
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
@@ -59,7 +62,7 @@ class StabilizerBase(Process):
                  heartbeat_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Callable = RedBlackTree):
+                 tree_factory: Optional[Callable] = None):
         self.insert_op_cost = insert_op_cost
         self.batch_cost = batch_cost
         if cost_model is None:
@@ -77,7 +80,9 @@ class StabilizerBase(Process):
         self.config = config
         self.metrics = metrics or NullMetrics()
         self.partition_time = [0] * n_partitions
-        self.buffer = OpBuffer(tree_factory)
+        # An explicit tree_factory (the §6 ablation convention) overrides
+        # the configured strategy; otherwise the config picks the backend.
+        self.buffer = OpBuffer(tree_factory, backend=config.buffer_backend)
         self.stable_time = 0
         self.ops_stabilized = 0
 
@@ -170,7 +175,9 @@ class StabilizerBase(Process):
         stable = self._stable_floor()
         if stable > self.stable_time:
             self.stable_time = stable
-        ops = self.buffer.pop_stable(self.stable_time)
+        buffer = self.buffer
+        # Idle rounds (empty buffer) skip the extraction walk entirely.
+        ops = buffer.pop_stable(self.stable_time) if buffer else []
         self._emit(self.stable_time, ops)
 
     def _emit(self, stable_ts: int, ops: list) -> None:
@@ -195,7 +202,7 @@ class EunomiaService(StabilizerBase):
                  heartbeat_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Callable = RedBlackTree,
+                 tree_factory: Optional[Callable] = None,
                  stable_mark: Optional[str] = None):
         super().__init__(env, name, site, n_partitions, config,
                          insert_op_cost=insert_op_cost,
@@ -230,9 +237,7 @@ class EunomiaService(StabilizerBase):
     def _propagate(self, stable_ts: int, ops: list) -> None:
         """PROCESS(StableOps): ship the ordered stable run to every site."""
         self.ops_stabilized += len(ops)
-        now = self.now
-        for op in ops:
-            self.metrics.mark(self.stable_mark, now)
+        self.metrics.mark_many(self.stable_mark, self.now, len(ops))
         batch = RemoteStableBatch(self.site, tuple(ops))
         for dest in self.destinations:
             self.send(dest, batch)

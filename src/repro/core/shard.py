@@ -46,7 +46,6 @@ import heapq
 from collections import deque
 from typing import Callable, Optional
 
-from ..datastruct.rbtree import RedBlackTree
 from ..kvstore.types import Update
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
@@ -113,7 +112,7 @@ class EunomiaShard(StabilizerBase):
                  heartbeat_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Callable = RedBlackTree):
+                 tree_factory: Optional[Callable] = None):
         super().__init__(env, name, site, n_partitions, config,
                          insert_op_cost=insert_op_cost,
                          batch_cost=batch_cost,
@@ -239,9 +238,7 @@ class ShardCoordinator(Process):
         """Ship one merged stable run to every remote site."""
         self.merge_rounds += 1
         self.ops_stabilized += len(ops)
-        now = self.now
-        for op in ops:
-            self.metrics.mark(self.stable_mark, now)
+        self.metrics.mark_many(self.stable_mark, self.now, len(ops))
         batch = RemoteStableBatch(self.site, tuple(ops))
         for dest in self.destinations:
             self.send(dest, batch)

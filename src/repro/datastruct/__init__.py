@@ -1,10 +1,25 @@
-"""Self-balancing ordered structures used by the Eunomia service: the
-red–black tree the paper's implementation is built on, the AVL alternative it
-was benchmarked against (§6), and the timestamp-ordered unstable-operation
-buffer composed on top."""
+"""Ordered structures used by the Eunomia service: the red–black tree the
+paper's implementation is built on, the AVL alternative it was benchmarked
+against (§6), the run-aware :class:`RunBuffer` exploiting Algorithm 3's
+per-origin monotonicity, and the :func:`OpBuffer` strategy facade composing
+them into the timestamp-ordered unstable-operation buffer."""
 
 from .avl import AVLTree
-from .opbuffer import OpBuffer
+from .opbuffer import (
+    BUFFER_BACKENDS,
+    DEFAULT_BACKEND,
+    OpBuffer,
+    TreeOpBuffer,
+)
 from .rbtree import RedBlackTree
+from .runbuffer import RunBuffer
 
-__all__ = ["RedBlackTree", "AVLTree", "OpBuffer"]
+__all__ = [
+    "RedBlackTree",
+    "AVLTree",
+    "OpBuffer",
+    "TreeOpBuffer",
+    "RunBuffer",
+    "BUFFER_BACKENDS",
+    "DEFAULT_BACKEND",
+]

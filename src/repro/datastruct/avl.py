@@ -198,6 +198,19 @@ class AVLTree:
             out.append(self.pop_min())
         return out
 
+    def drop_leq(self, bound: Any) -> int:
+        """Remove every entry with ``key <= bound``; return only the count."""
+        dropped = 0
+        while self._root is not None:
+            node = self._root
+            while node.left is not None:
+                node = node.left
+            if bound < node.key:
+                break
+            self.pop_min()
+            dropped += 1
+        return dropped
+
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """In-order iteration."""
         stack: list[_Node] = []

@@ -2,13 +2,25 @@
 
 ``Ops`` in Algorithm 3 is a *set* in the abstract protocol; the implementation
 (§6) keeps it ordered by timestamp so that FIND_STABLE is an in-order prefix
-scan.  :class:`OpBuffer` realizes that design on top of a self-balancing tree
-keyed by ``(timestamp, origin partition id, per-partition sequence)`` — the
-last two components break ties between concurrent updates from different
-partitions (the paper allows any order for equal timestamps) while keeping
-keys unique.
+scan.  Every backend realizes that design over the total order
+``(timestamp, origin partition id, per-partition sequence)`` — the last two
+components break ties between concurrent updates from different partitions
+(the paper allows any order for equal timestamps) while keeping keys unique.
 
-The backing tree is pluggable (red–black by default, AVL for the ablation).
+Three interchangeable strategies (``EunomiaConfig.buffer_backend``):
+
+* ``"runs"`` (default) — :class:`repro.datastruct.runbuffer.RunBuffer`:
+  exploits Algorithm 3's per-origin monotonicity for O(1) appends and a
+  k-way-merge FIND_STABLE.  Fastest; requires the monotone-ingestion
+  contract the stabilizer already enforces via ``PartitionTime``.
+* ``"rbtree"`` — :class:`TreeOpBuffer` over the paper's red–black tree:
+  O(log n) everything, no ingestion-order assumptions.
+* ``"avl"`` — :class:`TreeOpBuffer` over the AVL tree (§6 ablation).
+
+:func:`OpBuffer` is the strategy facade: a factory returning the chosen
+backend instance.  It is deliberately *not* a wrapper object — ``add()`` is
+the hot path, and a delegation layer would tax every call; call sites hold
+the backend directly.
 """
 
 from __future__ import annotations
@@ -16,12 +28,23 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from .rbtree import RedBlackTree
+from .runbuffer import RunBuffer
 
-__all__ = ["OpBuffer"]
+__all__ = ["OpBuffer", "TreeOpBuffer", "BUFFER_BACKENDS", "DEFAULT_BACKEND"]
+
+#: Recognized ``buffer_backend`` strategy names.
+BUFFER_BACKENDS = ("runs", "rbtree", "avl")
+
+#: The run-aware buffer is the default: Algorithm 3 guarantees the monotone
+#: ingestion it needs, and it wins every micro-benchmark (see
+#: ``benchmarks/bench_trees.py::bench_opbuffer_ingestion``).
+DEFAULT_BACKEND = "runs"
 
 
-class OpBuffer:
-    """Timestamp-ordered buffer with prefix extraction."""
+class TreeOpBuffer:
+    """Timestamp-ordered buffer over a self-balancing tree (§6)."""
+
+    __slots__ = ("_tree", "total_added")
 
     def __init__(self, tree_factory: Callable[[], Any] = RedBlackTree):
         self._tree = tree_factory()
@@ -29,6 +52,9 @@ class OpBuffer:
 
     def __len__(self) -> int:
         return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
 
     def add(self, ts: int, origin: int, seq: int, op: Any) -> None:
         """Buffer ``op`` under its (unique) ordering key."""
@@ -60,7 +86,33 @@ class OpBuffer:
         """Discard the stable prefix without returning it (follower replicas).
 
         Alg. 4 lines 13–15: when a follower learns StableTime from the
-        leader, it prunes ops known to have been processed.  Returns the
-        number of ops dropped.
+        leader, it prunes ops known to have been processed — counting, not
+        collecting, so no op list is built.  Returns the number dropped.
         """
-        return len(self.pop_stable(stable_ts))
+        bound = (stable_ts, float("inf"), float("inf"))
+        return self._tree.drop_leq(bound)
+
+
+def OpBuffer(tree_factory: Optional[Callable[[], Any]] = None,
+             backend: Optional[str] = None):
+    """Strategy facade: build the op buffer for ``backend``.
+
+    ``tree_factory`` forces a tree-backed buffer over that structure (the
+    historical calling convention, kept for the §6 tree ablations); otherwise
+    ``backend`` picks a strategy by name, defaulting to ``"runs"``.
+    """
+    if tree_factory is not None:
+        return TreeOpBuffer(tree_factory)
+    backend = backend or DEFAULT_BACKEND
+    if backend == "runs":
+        return RunBuffer()
+    if backend == "rbtree":
+        return TreeOpBuffer(RedBlackTree)
+    if backend == "avl":
+        from .avl import AVLTree
+
+        return TreeOpBuffer(AVLTree)
+    raise ValueError(
+        f"unknown buffer backend {backend!r} (expected one of "
+        f"{', '.join(BUFFER_BACKENDS)})"
+    )

@@ -153,6 +153,22 @@ class RedBlackTree:
             self._delete_node(node)
         return out
 
+    def drop_leq(self, bound: Any) -> int:
+        """Remove every entry with ``key <= bound``; return only the count.
+
+        The pruning-side twin of :meth:`pop_leq` for callers (follower
+        replicas) that discard the stable prefix: nothing is collected, so
+        no list of dropped entries is ever built.
+        """
+        dropped = 0
+        while self._root is not self._nil:
+            node = self._minimum(self._root)
+            if bound < node.key:
+                break
+            self._delete_node(node)
+            dropped += 1
+        return dropped
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

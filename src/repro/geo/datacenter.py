@@ -21,7 +21,6 @@ from ..core.partition import EunomiaPartition
 from ..core.replica import EunomiaReplica
 from ..core.service import EunomiaService
 from ..core.shard import EunomiaShard, ShardCoordinator, ShardMap
-from ..datastruct.rbtree import RedBlackTree
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
@@ -39,7 +38,7 @@ class Datacenter:
                  calibration: Optional[Calibration] = None,
                  metrics: Optional[MetricsHub] = None,
                  ntp: Optional[NtpSynchronizer] = None,
-                 tree_factory: Callable = RedBlackTree):
+                 tree_factory: Optional[Callable] = None):
         from .receiver import Receiver  # local import avoids cycle at module load
 
         self.env = env

@@ -23,7 +23,6 @@ from ..calibration import Calibration
 from ..clocks.ntp import NtpSynchronizer
 from ..core.client import SessionClient
 from ..core.config import EunomiaConfig
-from ..datastruct.rbtree import RedBlackTree
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics import MetricsHub, steady_window, throughput
 from ..sim.env import Environment
@@ -126,9 +125,14 @@ def build_eunomia_system(spec: GeoSystemSpec,
                          workload: WorkloadSpec,
                          config: Optional[EunomiaConfig] = None,
                          metrics: Optional[MetricsHub] = None,
-                         tree_factory: Callable = RedBlackTree,
+                         tree_factory: Optional[Callable] = None,
                          history=None) -> GeoSystem:
-    """Construct a complete EunomiaKV deployment (not yet started)."""
+    """Construct a complete EunomiaKV deployment (not yet started).
+
+    ``tree_factory`` (when given) pins every stabilizer's buffer to that
+    tree structure — the §6 ablation hook; otherwise
+    ``config.buffer_backend`` selects the strategy (``"runs"`` by default).
+    """
     config = config or EunomiaConfig()
     config.validate()
     metrics = metrics or MetricsHub()

@@ -17,6 +17,7 @@ that unit tests can run protocols without one (see :class:`NullMetrics`).
 from __future__ import annotations
 
 from collections import defaultdict
+from itertools import repeat
 from typing import Optional
 
 __all__ = ["MetricsHub", "NullMetrics"]
@@ -43,6 +44,24 @@ class MetricsHub:
     def mark(self, name: str, time: float) -> None:
         """Register that event ``name`` occurred at ``time``."""
         self.marks[name].append(time)
+
+    def mark_many(self, name: str, time: float, n_or_times) -> None:
+        """Bulk-register occurrences of event ``name``.
+
+        ``n_or_times`` is either a count — ``n`` events all at ``time``,
+        the shape of a stabilization round marking a whole stable run at
+        once — or an iterable of explicit event times (``time`` is then
+        ignored).  One C-level ``extend`` replaces n ``mark()`` calls on
+        the propagation hot path.
+        """
+        if isinstance(n_or_times, int):
+            if n_or_times <= 0:
+                return
+            self.marks[name].extend(repeat(time, n_or_times))
+        else:
+            times = list(n_or_times)
+            if times:   # like the count branch: no phantom empty series
+                self.marks[name].extend(times)
 
     def point(self, name: str, time: float, value: float) -> None:
         """Append a (time, value) pair to the series ``name``."""
@@ -81,6 +100,9 @@ class NullMetrics(MetricsHub):
         pass
 
     def mark(self, name: str, time: float) -> None:  # noqa: D102
+        pass
+
+    def mark_many(self, name: str, time: float, n_or_times) -> None:  # noqa: D102
         pass
 
     def point(self, name: str, time: float, value: float) -> None:  # noqa: D102

@@ -139,8 +139,10 @@ class EventLoop:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            event = heappop(heap)
             if event.cancelled:
                 continue
             self._pending -= 1
@@ -161,24 +163,33 @@ class EventLoop:
         if self._running:
             raise SimulationError("event loop is not reentrant")
         self._running = True
+        # Hot loop: this drains millions of events per experiment.  The heap
+        # list and heappop are hoisted into locals (callbacks push onto the
+        # same list object, so the alias stays valid); ``self._now`` and the
+        # counters must stay instance state — callbacks read ``loop.now``,
+        # ``pending()`` and ``processed_events`` mid-drain.
+        heap = self._heap
+        heappop = heapq.heappop
+        unbounded = until is None and max_events is None
         fired = 0
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                heapq.heappop(self._heap)
+                if not unbounded:
+                    if until is not None and event.time > until:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
+                    fired += 1
+                heappop(heap)
                 self._pending -= 1
                 event._loop = None    # fired: late cancel() must not decrement
                 self._now = event.time
                 self._processed += 1
                 event.fn(*event.args)
-                fired += 1
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -94,23 +94,33 @@ class Network:
         Messages from/to crashed processes and across partitioned links are
         silently dropped (crash-stop model).  Lost messages count in
         ``messages_dropped``.
+
+        This is the per-message hot path (every protocol message in every
+        experiment funnels through it), so the lookups it repeats are
+        hoisted into locals and the fault-injection tables — empty in the
+        common non-faulty run — are tested for emptiness before being
+        probed.
         """
         self.messages_sent += 1
         self.bytes_sent += getattr(msg, "size_bytes", 0)
         key = (src.pid, dst.pid)
-        if src.crashed or key in self._blocked:
+        if src.crashed or (self._blocked and key in self._blocked):
             self.messages_dropped += 1
             return
-        rate = self._link_loss.get(key, self.loss_rate)
+        rate = (self._link_loss.get(key, self.loss_rate)
+                if self._link_loss else self.loss_rate)
         if rate > 0.0 and self._rng.random() < rate:
             self.messages_dropped += 1
             return
+        loop = self.env.loop
         delay = self.latency.delay(src, dst, self._rng)
-        delay += self._link_extra_delay.get(key, 0.0)
-        deliver_at = self.env.loop.now + delay
+        if self._link_extra_delay:
+            delay += self._link_extra_delay.get(key, 0.0)
+        deliver_at = loop.now + delay
         # FIFO per directed link: never overtake the previous delivery.
-        previous = self._last_delivery.get(key)
+        last = self._last_delivery
+        previous = last.get(key)
         if previous is not None and deliver_at < previous:
             deliver_at = previous
-        self._last_delivery[key] = deliver_at
-        self.env.loop.schedule_at(deliver_at, dst.deliver, msg, src)
+        last[key] = deliver_at
+        loop.schedule_at(deliver_at, dst.deliver, msg, src)

@@ -13,11 +13,11 @@ from repro.metrics import MetricsHub
 from repro.sim import ConstantLatency, Environment, Network, Process
 
 
-def make_partition(env, cls, dc_id=0, index=1, metrics=None):
+def make_partition(env, cls, dc_id=0, index=1, metrics=None, **kwargs):
     """index=1: not the aggregator, so no periodic aggregation interferes."""
     return cls(env, f"dc{dc_id}/p{index}", dc_id, index, 3,
                PhysicalClock(env), GstTimings(),
-               metrics=metrics or MetricsHub())
+               metrics=metrics or MetricsHub(), **kwargs)
 
 
 def remote(dc, ts, vts, seq=1, key="rk", value="rv"):
@@ -43,7 +43,10 @@ class TestGentleRainUnit:
         assert partition.pending_count() == 0
 
     def test_release_in_timestamp_order(self, env, net, metrics):
-        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        # The heap ablation tolerates arbitrary arrival order, so it can be
+        # probed with a synthetic out-of-order stream.
+        partition = make_partition(env, GentleRainPartition, metrics=metrics,
+                                   pending_backend="heap")
         sender = Sender(env, "s")
         for ts in (30, 10, 20):
             sender.send(partition, RemoteData(
@@ -54,6 +57,36 @@ class TestGentleRainUnit:
         assert partition.visible.get("k10") is not None
         assert partition.visible.get("k20") is None
         assert partition.pending_count() == 2
+
+    def test_runs_pending_releases_partial_prefix(self, env, net, metrics):
+        """Default run-aware pending set under realistic FIFO streams."""
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        for dc, ts in ((1, 10), (2, 25), (1, 30), (2, 35)):   # FIFO per origin
+            sender.send(partition, RemoteData(
+                remote(dc, ts, (ts,), seq=ts, key=f"k{ts}")))
+        env.run(until=0.01)
+        assert partition.pending_count() == 4
+        sender.send(partition, GstBroadcast((25,)))
+        env.run(until=0.02)
+        assert partition.visible.get("k10") is not None
+        assert partition.visible.get("k25") is not None
+        assert partition.visible.get("k30") is None
+        assert partition.pending_count() == 2
+
+    def test_runs_pending_rejects_non_fifo_stream(self, env, net, metrics):
+        """The default backend's contract: a FIFO violation fails loudly."""
+        partition = make_partition(env, GentleRainPartition, metrics=metrics)
+        sender = Sender(env, "s")
+        sender.send(partition, RemoteData(remote(1, 30, (30,), seq=3)))
+        sender.send(partition, RemoteData(remote(1, 10, (10,), seq=1)))
+        with pytest.raises(ValueError, match="non-monotone insert"):
+            env.run(until=0.01)
+
+    def test_unknown_pending_backend_rejected(self, env, net, metrics):
+        with pytest.raises(ValueError, match="unknown pending backend"):
+            make_partition(env, GentleRainPartition, metrics=metrics,
+                           pending_backend="btree")
 
     def test_heartbeat_advances_vv(self, env, net, metrics):
         partition = make_partition(env, GentleRainPartition, metrics=metrics)

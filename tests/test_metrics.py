@@ -40,14 +40,33 @@ class TestHub:
         assert names["counters"] == ["c"]
         assert names["samples"] == ["s"]
 
+    def test_mark_many_with_count(self, metrics):
+        metrics.mark("ops", 0.5)
+        metrics.mark_many("ops", 1.5, 3)
+        metrics.mark_many("ops", 9.9, 0)     # no-op, no empty-list entry
+        assert metrics.mark_times("ops") == [0.5, 1.5, 1.5, 1.5]
+
+    def test_mark_many_with_explicit_times(self, metrics):
+        metrics.mark_many("ops", 0.0, [0.1, 0.2])
+        assert metrics.mark_times("ops") == [0.1, 0.2]
+
+    def test_mark_many_equivalent_to_mark_loop(self, metrics):
+        bulk = MetricsHub()
+        for _ in range(5):
+            metrics.mark("ops", 2.5)
+        bulk.mark_many("ops", 2.5, 5)
+        assert bulk.mark_times("ops") == metrics.mark_times("ops")
+
     def test_null_hub_discards(self):
         hub = NullMetrics()
         hub.count("x")
         hub.record("y", 1.0)
         hub.mark("z", 1.0)
+        hub.mark_many("z", 1.0, 7)
         hub.point("w", 1.0, 2.0)
         assert hub.counter("x") == 0
         assert hub.sample_values("y") == []
+        assert hub.mark_times("z") == []
 
 
 class TestStats:

@@ -139,55 +139,97 @@ def test_trees_agree_on_random_workload():
     avl.validate()
 
 
+BACKENDS = ["runs", "rbtree", "avl"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestOpBuffer:
-    def test_orders_by_timestamp_then_origin_then_seq(self):
-        buf = OpBuffer()
+    """Facade contract shared by every backend strategy."""
+
+    def test_orders_by_timestamp_then_origin_then_seq(self, backend):
+        buf = OpBuffer(backend=backend)
         buf.add(10, 2, 1, "b")
         buf.add(10, 1, 1, "a")   # same ts, lower partition first
         buf.add(5, 9, 1, "first")
         assert buf.pop_stable(10) == ["first", "a", "b"]
 
-    def test_pop_stable_keeps_unstable_suffix(self):
-        buf = OpBuffer()
+    def test_pop_stable_keeps_unstable_suffix(self, backend):
+        buf = OpBuffer(backend=backend)
         for ts in (1, 2, 3, 4):
             buf.add(ts, 0, ts, ts)
         assert buf.pop_stable(2) == [1, 2]
         assert len(buf) == 2
         assert buf.min_ts() == 3
 
-    def test_min_ts_empty(self):
-        assert OpBuffer().min_ts() is None
+    def test_min_ts_empty(self, backend):
+        assert OpBuffer(backend=backend).min_ts() is None
 
-    def test_contains_and_counts(self):
-        buf = OpBuffer()
+    def test_contains_and_counts(self, backend):
+        buf = OpBuffer(backend=backend)
         buf.add(1, 0, 1, "x")
         assert buf.contains(1, 0, 1)
         assert not buf.contains(1, 0, 2)
         assert buf.total_added == 1
 
-    def test_drop_stable_returns_count(self):
-        buf = OpBuffer()
-        for ts in range(5):
+    def test_drop_stable_returns_count(self, backend):
+        buf = OpBuffer(backend=backend)
+        for ts in range(1, 6):
             buf.add(ts, 0, ts, ts)
-        assert buf.drop_stable(2) == 3  # ts 0, 1, 2
+        assert buf.drop_stable(3) == 3  # ts 1, 2, 3
         assert len(buf) == 2
-
-    def test_avl_backing(self):
-        buf = OpBuffer(tree_factory=AVLTree)
-        buf.add(2, 0, 1, "b")
-        buf.add(1, 0, 0, "a")
-        assert buf.pop_stable(5) == ["a", "b"]
+        assert buf.min_ts() == 4
 
     @given(ops=st.lists(st.tuples(st.integers(0, 100), st.integers(0, 5),
                                   st.integers(0, 10**6)),
                         unique=True, max_size=150),
            stable=st.integers(0, 100))
     @settings(max_examples=50, deadline=None)
-    def test_pop_stable_is_sorted_prefix(self, ops, stable):
-        buf = OpBuffer()
+    def test_pop_stable_is_sorted_prefix(self, backend, ops, stable):
+        buf = OpBuffer(backend=backend)
+        if backend == "runs":
+            # The run buffer's contract is monotone per-origin ingestion
+            # (what the stabilizer's PartitionTime dedup guarantees): keep
+            # each origin's ops in strictly increasing timestamp order.
+            monotone, last = [], {}
+            for ts, origin, seq in sorted(ops,
+                                          key=lambda e: (e[1], e[0], e[2])):
+                if ts > last.get(origin, -1):
+                    last[origin] = ts
+                    monotone.append((ts, origin, seq))
+            ops = monotone
         for ts, origin, seq in ops:
             buf.add(ts, origin, seq, (ts, origin, seq))
         out = buf.pop_stable(stable)
         assert out == sorted(out)
         assert all(op[0] <= stable for op in out)
         assert len(out) + len(buf) == len(ops)
+
+
+def test_facade_dispatches_backends():
+    from repro.datastruct import RunBuffer, TreeOpBuffer
+
+    assert isinstance(OpBuffer(), RunBuffer)             # default strategy
+    assert isinstance(OpBuffer(backend="runs"), RunBuffer)
+    assert isinstance(OpBuffer(backend="rbtree"), TreeOpBuffer)
+    assert isinstance(OpBuffer(backend="avl"), TreeOpBuffer)
+    assert isinstance(OpBuffer(tree_factory=AVLTree), TreeOpBuffer)
+    with pytest.raises(ValueError, match="unknown buffer backend"):
+        OpBuffer(backend="btree")
+
+
+def test_avl_backing():
+    buf = OpBuffer(tree_factory=AVLTree)
+    buf.add(2, 0, 1, "b")
+    buf.add(1, 0, 0, "a")
+    assert buf.pop_stable(5) == ["a", "b"]
+
+
+@pytest.mark.parametrize("tree_cls", [RedBlackTree, AVLTree])
+def test_drop_leq_counts_without_collecting(tree_cls):
+    tree = tree_cls()
+    for k in range(10):
+        tree.insert(k, k)
+    assert tree.drop_leq(4) == 5
+    assert [k for k, _ in tree.items()] == [5, 6, 7, 8, 9]
+    assert tree.drop_leq(4) == 0
+    tree.validate()
