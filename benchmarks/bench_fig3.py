@@ -26,3 +26,8 @@ def bench_fig3_ft_overhead(benchmark):
     seq = result.row_value("sequencer non-FT", "ops_s")
     chain = result.row_value(f"sequencer {params.chain_length}-FT", "ops_s")
     assert 0.60 < chain / seq < 0.75  # paper: −33%
+
+    # Alg. 4 × K: replicating the sharded pipeline stays cheap too (the
+    # acks — the only extra work — are spread over the K shard workers).
+    k, r = params.sharded_ft
+    assert 0.85 < result.row_value(f"eunomia K{k}x{r}-FT", "normalized") <= 1.0

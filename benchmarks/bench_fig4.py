@@ -3,7 +3,9 @@
 Regenerates the crash timeline: the leader dies at t₁, its successor at t₂.
 Paper shapes asserted: 1-FT goes to zero after the first crash; 2-FT
 survives the first (recovering to ~95%+) and dies at the second; 3-FT
-survives both.
+survives both.  The sharded variant replays the same schedule against
+Alg. 4 × K=2 replica groups and asserts the identical shape — replicating
+the sharded pipeline preserves the paper's failover behaviour.
 """
 
 from conftest import run_figure
@@ -11,9 +13,7 @@ from conftest import run_figure
 from repro.harness.figures import fig4
 
 
-def bench_fig4_failure_timeline(benchmark):
-    result = run_figure(benchmark, fig4, fig4.Fig4Params.quick())
-
+def _assert_failover_shape(result):
     one = {c: result.row_value("1-FT", c)
            for c in ("before_crash1", "between_crashes", "after_crash2")}
     two = {c: result.row_value("2-FT", c)
@@ -28,3 +28,14 @@ def bench_fig4_failure_timeline(benchmark):
     assert two["after_crash2"] < 0.05              # ...and died at t2
     assert three["between_crashes"] > 0.9          # 3-FT survives t1
     assert three["after_crash2"] > 0.9             # ...and t2
+
+
+def bench_fig4_failure_timeline(benchmark):
+    _assert_failover_shape(run_figure(benchmark, fig4,
+                                      fig4.Fig4Params.quick()))
+
+
+def bench_fig4_failure_timeline_sharded(benchmark):
+    """The same failure schedule against K=2 ShardedReplicaGroups."""
+    _assert_failover_shape(run_figure(benchmark, fig4,
+                                      fig4.Fig4Params.quick_sharded()))

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docs lint for CI: link integrity + example-header sync.
+
+Checks, with zero dependencies beyond the stdlib:
+
+1. every relative markdown link in README.md and docs/*.md points at a
+   file or directory that exists (external ``scheme://`` links and
+   GitHub-web-relative links that escape the repo are skipped), and every
+   ``#fragment`` on an intra-repo markdown link names a real heading
+   (GitHub anchor slugs);
+2. every ``examples/*.py`` opens with a module docstring whose ``Run:``
+   stanza names its own file (``python examples/<name>.py``), so headers
+   cannot drift when examples are renamed or copied.
+
+Exit code 0 when clean; prints every violation and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set[str]:
+    text = md_path.read_text(encoding="utf-8")
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for link in LINK_RE.findall(text):
+            if "://" in link or link.startswith("mailto:"):
+                continue
+            path_part, _, fragment = link.partition("#")
+            if path_part:
+                target = (doc.parent / path_part).resolve()
+                try:
+                    target.relative_to(REPO)
+                except ValueError:
+                    continue  # GitHub-web-relative (e.g. ../../actions/...)
+                if not target.exists():
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: broken link -> {link}")
+                    continue
+            else:
+                target = doc
+            if fragment and target.suffix == ".md" and target.is_file():
+                if fragment not in anchors_of(target):
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: dead anchor -> {link}")
+    return errors
+
+
+def check_example_headers() -> list[str]:
+    errors = []
+    for example in sorted((REPO / "examples").glob("*.py")):
+        rel = example.relative_to(REPO)
+        text = example.read_text(encoding="utf-8")
+        match = re.search(r'"""(.*?)"""', text, re.DOTALL)
+        if not match:
+            errors.append(f"{rel}: no module docstring")
+            continue
+        doc = match.group(1)
+        run_line = f"python examples/{example.name}"
+        if "Run:" not in doc or run_line not in doc:
+            errors.append(
+                f"{rel}: docstring must carry a 'Run:' stanza naming "
+                f"'{run_line}'")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_example_headers()
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
+    print(f"check_docs: links ok ({checked}); "
+          f"{len(list((REPO / 'examples').glob('*.py')))} example headers ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@
 * :class:`EunomiaConfig` — protocol timing knobs.
 """
 
+from .assembly import StabilizerStack, build_stabilizer_stack
 from .client import SessionClient
 from .config import EunomiaConfig
 from .election import OmegaElection
@@ -26,13 +27,20 @@ from .messages import (
     RemoteStableBatch,
     ReplicaAlive,
     ShardStableBatch,
+    ShardStableVector,
     StableAnnounce,
 )
 from .partition import EunomiaPartition
 from .tree import CombinedBatch, TreeRelay
 from .replica import EunomiaReplica
 from .service import EunomiaService, StabilizerBase
-from .shard import EunomiaShard, ShardCoordinator, ShardMap
+from .shard import (
+    EunomiaShard,
+    ReplicatedShardCoordinator,
+    ShardCoordinator,
+    ShardMap,
+    ShardedReplicaGroup,
+)
 from .uplink import EunomiaUplink
 
 __all__ = [
@@ -42,7 +50,11 @@ __all__ = [
     "StabilizerBase",
     "EunomiaShard",
     "ShardCoordinator",
+    "ReplicatedShardCoordinator",
+    "ShardedReplicaGroup",
     "ShardMap",
+    "StabilizerStack",
+    "build_stabilizer_stack",
     "EunomiaPartition",
     "EunomiaUplink",
     "SessionClient",
@@ -62,5 +74,6 @@ __all__ = [
     "RemoteStableBatch",
     "ReplicaAlive",
     "ShardStableBatch",
+    "ShardStableVector",
     "StableAnnounce",
 ]

@@ -67,6 +67,12 @@ class EunomiaConfig:
     #: :class:`~repro.core.shard.EunomiaShard` workers plus a merging
     #: :class:`~repro.core.shard.ShardCoordinator`.  ``1`` is the paper's
     #: single sequential stabilizer (plain :class:`EunomiaService`).
+    #: Composes with ``fault_tolerant=True``: the whole K-shard pipeline is
+    #: then replicated ``n_replicas`` times (Alg. 4 × K shards) — each
+    #: replica runs its own shards behind a
+    #: :class:`~repro.core.shard.ReplicatedShardCoordinator`, partitions
+    #: stream to every replica's owning shard, and only the Ω-elected
+    #: leader merges and ships stable runs.
     n_shards: int = 1
 
     #: Partition → shard assignment: ``"stride"`` (round-robin, p % K) or
@@ -102,12 +108,6 @@ class EunomiaConfig:
             raise ValueError("tree fanout must be at least 1")
         if self.n_shards < 1:
             raise ValueError("need at least one Eunomia shard")
-        if self.n_shards > 1 and self.fault_tolerant:
-            raise ValueError(
-                "sharded stabilization composes Algorithm 3 workers, not the "
-                "Algorithm 4 replica group; replicating individual shards is "
-                "future work — use n_shards=1 with fault_tolerant=True"
-            )
         if self.shard_policy not in ("stride", "block"):
             raise ValueError(
                 f"unknown shard policy {self.shard_policy!r} "

@@ -1,6 +1,7 @@
-"""Ω-style leader election among Eunomia replicas.
+"""Ω-style leader election among Eunomia replicas (Alg. 4 lines 7–10).
 
-The paper (§3.3) only needs an *eventual* leader: correctness never depends
+The paper (§3.3) only needs an *eventual* leader — Algorithm 4 guards
+PROCESS_STABLE with "if leader(r_m)" (line 8) but correctness never depends
 on leader uniqueness (duplicated propagation is deduplicated by receivers),
 the leader merely saves network resources.  Any Ω failure detector works; we
 implement the classic heartbeat construction:
@@ -12,6 +13,12 @@ implement the classic heartbeat construction:
 At start-up all peers are optimistically trusted (as if a heartbeat had just
 been seen), so replica 0 is everyone's initial leader and there is no
 duplicate propagation during boot.
+
+Two hosts embed this helper: :class:`repro.core.replica.EunomiaReplica`
+(the paper's K=1 replica group) and
+:class:`repro.core.shard.ReplicatedShardCoordinator` (the merge head of a
+K-sharded replica group) — in both, ``is_leader()`` gates serialization
+and ``on_change`` timestamps failovers for the figures.
 """
 
 from __future__ import annotations

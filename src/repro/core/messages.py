@@ -23,6 +23,7 @@ __all__ = [
     "BatchAck",
     "StableAnnounce",
     "ShardStableBatch",
+    "ShardStableVector",
     "RemoteStableBatch",
     "RemoteData",
     "ApplyRemote",
@@ -136,6 +137,31 @@ class ReplicaAlive:
 
     replica_id: int
     size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class ShardStableVector:
+    """Leader coordinator → follower coordinators: per-shard prune floors.
+
+    The sharded generalization of :class:`StableAnnounce` (Alg. 4 line 12):
+    entry ``k`` is the timestamp at or below which shard ``k``'s ops have
+    been *shipped to remote datacenters*, so a follower replica's shard ``k``
+    may prune its buffer at that floor (``drop_stable``, shard-locally,
+    without any cross-shard coordination).
+
+    Every entry is capped at the leader's released global StableTime: a
+    leader shard's own ShardStableTime may run ahead of ``min(shards)``
+    while its popped ops still sit unshipped in the leader coordinator's
+    merge queues, and pruning followers there would lose exactly those ops
+    on a leader crash.  The cap is what makes the failover argument go
+    through — see ``docs/ARCHITECTURE.md``.
+    """
+
+    stable_times: Tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self.stable_times)
 
 
 # ----------------------------------------------------------------------

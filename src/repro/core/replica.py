@@ -17,6 +17,11 @@ loses nothing: every op the dead leader had was either announced stable
 (followers pruned it *after* it reached remote sites) or is still held by
 every surviving replica, and remote receivers deduplicate the overlap a new
 leader re-ships.
+
+This is the K=1 replica; the sharded composition (Alg. 4 × K, the same
+machinery distributed over each replica's K shards and a
+:class:`~repro.core.shard.ReplicatedShardCoordinator`) lives in
+:mod:`repro.core.shard`.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from ..sim.env import Environment
 from ..sim.process import CostModel, Process
 from .config import EunomiaConfig
 from .election import OmegaElection
-from .messages import AddOpBatch, BatchAck, ReplicaAlive, StableAnnounce
+from .messages import ReplicaAlive, StableAnnounce
 from .service import EunomiaService
 
 __all__ = ["EunomiaReplica"]
@@ -56,10 +61,10 @@ class EunomiaReplica(EunomiaService):
                          insert_op_cost=insert_op_cost,
                          batch_cost=batch_cost,
                          heartbeat_cost=heartbeat_cost,
+                         ack_cost=ack_cost,
                          metrics=metrics, cost_model=cost_model,
                          tree_factory=tree_factory, stable_mark=stable_mark)
         self.replica_id = replica_id
-        self.ack_cost = ack_cost
         self.peers: list["EunomiaReplica"] = []
         self.election = OmegaElection(
             self, replica_id,
@@ -82,16 +87,10 @@ class EunomiaReplica(EunomiaService):
         self.election.start()
 
     # ------------------------------------------------------------------
-    # Algorithm 4 behaviour
+    # Algorithm 4 behaviour (acks + follower pruning are inherited from
+    # StabilizerBase._post_batch / on_stable_announce, shared with the
+    # sharded replica shape)
     # ------------------------------------------------------------------
-    def _post_batch(self, msg: AddOpBatch, src: Process) -> None:
-        # NEW_BATCH line 5: cumulative ack with the highest contiguous
-        # timestamp now held for this partition.  The emission cost is
-        # charged to this replica's service queue.
-        ack = BatchAck(msg.partition_index,
-                       self.partition_time[msg.partition_index])
-        self._enqueue(lambda: self.send(src, ack), self.ack_cost)
-
     def _should_stabilize(self) -> bool:
         return self.election.is_leader()
 
@@ -102,12 +101,6 @@ class EunomiaReplica(EunomiaService):
         announce = StableAnnounce(stable_ts)
         for peer in self.peers:
             self.send(peer, announce)
-
-    def on_stable_announce(self, msg: StableAnnounce, src: Process) -> None:
-        # Alg. 4 lines 13–15 (follower side).
-        if msg.stable_ts > self.stable_time:
-            self.stable_time = msg.stable_ts
-        self.buffer.drop_stable(self.stable_time)
 
     def on_replica_alive(self, msg: ReplicaAlive, src: Process) -> None:
         self.election.on_alive(msg)

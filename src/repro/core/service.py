@@ -15,15 +15,30 @@ per-partition inserts the run buffer requires — with the paper's §6
 red–black tree (and the AVL ablation) retained as tree backends.  Extraction
 of the stable prefix is the backend's ``pop_stable``.
 
-Two deployments share the machinery in :class:`StabilizerBase`:
+Algorithm 3 ↔ this module:
+
+* lines 1–6 (NEW_OP / NEW_HEARTBEAT ingestion + PartitionTime) —
+  :meth:`StabilizerBase.on_add_op_batch` /
+  :meth:`StabilizerBase.on_partition_heartbeat`;
+* line 7 (the periodic PROCESS_STABLE trigger, period θ) —
+  :meth:`StabilizerBase.start` / ``_stab_tick``;
+* lines 8–11 (FIND_STABLE + ordered PROCESS of the stable prefix) —
+  :meth:`StabilizerBase._stabilize` driving the buffer's ``pop_stable``
+  and the subclass's :meth:`_emit`.
+
+Three deployments share the machinery in :class:`StabilizerBase`:
 
 * :class:`EunomiaService` — the paper's single sequential stabilizer per
   datacenter (the K=1 case), which serializes *all* partitions and ships
   the stable run to remote sites itself;
+* :class:`repro.core.replica.EunomiaReplica` — the Algorithm 4 form: R of
+  these, acks to partitions, leader-only ``_emit``;
 * :class:`repro.core.shard.EunomiaShard` — one of K workers that each run
   Algorithm 3 over a partition *subset* and hand their (already ordered)
   stable sub-runs to a :class:`repro.core.shard.ShardCoordinator` for a
-  K-way merge before remote propagation.
+  K-way merge before remote propagation; with ``fault_tolerant=True`` the
+  whole K-shard pipeline is replicated (Alg. 4 × K, see
+  :mod:`repro.core.shard`).
 
 CPU accounting: batch ingestion is charged through the cost model installed
 by the builder; stabilization charges a fixed round cost plus a per-op,
@@ -41,7 +56,13 @@ from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
 from .config import EunomiaConfig
-from .messages import AddOpBatch, PartitionHeartbeat, RemoteStableBatch
+from .messages import (
+    AddOpBatch,
+    BatchAck,
+    PartitionHeartbeat,
+    RemoteStableBatch,
+    StableAnnounce,
+)
 
 __all__ = ["StabilizerBase", "EunomiaService"]
 
@@ -60,11 +81,13 @@ class StabilizerBase(Process):
                  insert_op_cost: float = 0.0,
                  batch_cost: float = 0.0,
                  heartbeat_cost: float = 0.0,
+                 ack_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
                  tree_factory: Optional[Callable] = None):
         self.insert_op_cost = insert_op_cost
         self.batch_cost = batch_cost
+        self.ack_cost = ack_cost
         if cost_model is None:
             # The batch cost must be state-aware: duplicate prefixes from
             # at-least-once retransmissions are skipped with one comparison
@@ -145,7 +168,31 @@ class StabilizerBase(Process):
         self._post_batch(msg, src)
 
     def _post_batch(self, msg: AddOpBatch, src: Process) -> None:
-        """Hook for the fault-tolerant replica (acks)."""
+        """NEW_BATCH acknowledgement (Alg. 4 line 5), fault-tolerant only.
+
+        Both replicated shapes share this: every Alg. 4 replica — an
+        :class:`EunomiaReplica` or a replica's
+        :class:`~repro.core.shard.EunomiaShard` — acks with the highest
+        contiguous timestamp it now holds for the partition, so the
+        uplink's per-replica retransmission window can advance.
+        """
+        if not self.config.fault_tolerant:
+            return
+        ack = BatchAck(msg.partition_index,
+                       self.partition_time[msg.partition_index])
+        self._enqueue(lambda: self.send(src, ack), self.ack_cost)
+
+    def on_stable_announce(self, msg: StableAnnounce, src: Process) -> None:
+        """Follower pruning (Alg. 4 lines 13–15), shared by both shapes.
+
+        Everything at or below the announced floor was shipped remotely by
+        the leader (for shards the floor arrives pre-capped per shard via
+        the coordinator's gossip), so it is dropped without ever being
+        serialized.
+        """
+        if msg.stable_ts > self.stable_time:
+            self.stable_time = msg.stable_ts
+        self.buffer.drop_stable(self.stable_time)
 
     def on_partition_heartbeat(self, msg: PartitionHeartbeat, src: Process) -> None:
         index = msg.partition_index
@@ -200,6 +247,7 @@ class EunomiaService(StabilizerBase):
                  insert_op_cost: float = 0.0,
                  batch_cost: float = 0.0,
                  heartbeat_cost: float = 0.0,
+                 ack_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
                  tree_factory: Optional[Callable] = None,
@@ -208,6 +256,7 @@ class EunomiaService(StabilizerBase):
                          insert_op_cost=insert_op_cost,
                          batch_cost=batch_cost,
                          heartbeat_cost=heartbeat_cost,
+                         ack_cost=ack_cost,
                          metrics=metrics, cost_model=cost_model,
                          tree_factory=tree_factory)
         self.propagate_op_cost = propagate_op_cost

@@ -38,6 +38,39 @@ over K cores); the coordinator pays only a cheap per-op forward of the
 pre-serialized runs, per destination, plus a fixed merge-round overhead —
 scatter-gather serialization with a thin merging front, which is what lets
 stabilization throughput scale with K until the coordinator saturates.
+
+Fault tolerance (Algorithm 4 × K shards)
+----------------------------------------
+
+With ``EunomiaConfig(fault_tolerant=True, n_replicas=R, n_shards=K)`` the
+whole K-shard pipeline above is *replicated*: each of the R replicas runs
+its own K shards plus one :class:`ReplicatedShardCoordinator`
+(assembled as a :class:`ShardedReplicaGroup`).  Algorithm 4 maps onto the
+sharded pipeline line by line:
+
+* NEW_BATCH acks (Alg. 4 line 5) move into the shards — partitions
+  retransmit unacked suffixes to the owning shard *of every replica*
+  (:mod:`repro.core.uplink` unchanged), so each (partition → shard) stream
+  independently enjoys the prefix property;
+* the Ω election (Alg. 4 lines 7–10, :mod:`repro.core.election`) runs
+  among the R coordinators; only the leader's shards run FIND_STABLE and
+  only the leader coordinator merges and ships stable runs;
+* the leader's StableTime announcement (Alg. 4 line 12) becomes a
+  :class:`~repro.core.messages.ShardStableVector` gossiped to follower
+  coordinators, which fan per-shard ``StableAnnounce`` floors out to their
+  local shards so each prunes its own buffer (Alg. 4 lines 13–15,
+  ``drop_stable``) with no cross-shard coordination.
+
+Failover correctness is the unsharded argument applied per (partition →
+shard) stream: every surviving replica's shard ``k`` holds the complete
+un-pruned prefix of each partition it owns (acks gate the uplink's
+retransmission per replica), prune floors are capped at what the dead
+leader *shipped* (see :class:`~repro.core.messages.ShardStableVector`), so
+a new leader re-emits at most the window between the last gossip and the
+crash — which remote receivers deduplicate per origin exactly as in the
+K=1 case.  The property test in ``tests/test_sharded_stabilization.py``
+checks op-for-op equality of the delivered stream against the K=1 and the
+unreplicated K-shard pipelines, including under a forced leader crash.
 """
 
 from __future__ import annotations
@@ -51,10 +84,18 @@ from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
 from .config import EunomiaConfig
-from .messages import RemoteStableBatch, ShardStableBatch
+from .election import OmegaElection
+from .messages import (
+    RemoteStableBatch,
+    ReplicaAlive,
+    ShardStableBatch,
+    ShardStableVector,
+    StableAnnounce,
+)
 from .service import StabilizerBase
 
-__all__ = ["ShardMap", "EunomiaShard", "ShardCoordinator"]
+__all__ = ["ShardMap", "EunomiaShard", "ShardCoordinator",
+           "ReplicatedShardCoordinator", "ShardedReplicaGroup"]
 
 class ShardMap:
     """Partition → shard assignment for one datacenter.
@@ -100,7 +141,16 @@ class ShardMap:
 
 
 class EunomiaShard(StabilizerBase):
-    """One of K stabilizer workers: Algorithm 3 over a partition subset."""
+    """One of K stabilizer workers: Algorithm 3 over a partition subset.
+
+    In a replicated deployment (Alg. 4 × K) the shard additionally plays
+    its replica's part of the Algorithm 4 machinery for the partitions it
+    owns: it acknowledges every batch with its highest contiguous
+    per-partition timestamp (line 5), runs FIND_STABLE only while its
+    replica's coordinator leads (``leader_gate``), and — on follower
+    replicas — prunes its buffer at the floors the leader gossips
+    (lines 13–15, via :meth:`on_stable_announce`).
+    """
 
     def __init__(self, env: Environment, name: str, site: int,
                  n_partitions: int, config: EunomiaConfig,
@@ -110,13 +160,16 @@ class EunomiaShard(StabilizerBase):
                  insert_op_cost: float = 0.0,
                  batch_cost: float = 0.0,
                  heartbeat_cost: float = 0.0,
+                 ack_cost: float = 0.0,
                  metrics: Optional[MetricsHub] = None,
                  cost_model: Optional[CostModel] = None,
-                 tree_factory: Optional[Callable] = None):
+                 tree_factory: Optional[Callable] = None,
+                 leader_gate: Optional[Callable[[], bool]] = None):
         super().__init__(env, name, site, n_partitions, config,
                          insert_op_cost=insert_op_cost,
                          batch_cost=batch_cost,
                          heartbeat_cost=heartbeat_cost,
+                         ack_cost=ack_cost,
                          metrics=metrics, cost_model=cost_model,
                          tree_factory=tree_factory)
         if not owned:
@@ -125,6 +178,8 @@ class EunomiaShard(StabilizerBase):
         self.owned = sorted(owned)
         self.serialize_op_cost = serialize_op_cost
         self.stab_round_cost = stab_round_cost
+        #: replicated deployments: does this shard's replica lead the group?
+        self.leader_gate = leader_gate
         self.coordinator: Optional[Process] = None
         #: highest ShardStableTime already shipped to the coordinator
         self.announced = 0
@@ -136,6 +191,16 @@ class EunomiaShard(StabilizerBase):
         """ShardStableTime: only this shard's partitions bound stability."""
         times = self.partition_time
         return min(times[p] for p in self.owned)
+
+    # ------------------------------------------------------------------
+    # Algorithm 4 behaviour (replicated deployments only; NEW_BATCH acks
+    # and follower pruning are inherited from StabilizerBase._post_batch /
+    # on_stable_announce, shared with EunomiaReplica)
+    # ------------------------------------------------------------------
+    def _should_stabilize(self) -> bool:
+        # Followers hold their buffers and wait for prune gossip; only the
+        # leading replica's shards serialize (Alg. 4 leader-only PROCESS).
+        return self.leader_gate is None or self.leader_gate()
 
     def _emit(self, stable_ts: int, ops: list) -> None:
         """Serialize the stable sub-run and hand it to the coordinator.
@@ -230,11 +295,21 @@ class ShardCoordinator(Process):
             ops = list(heapq.merge(*runs, key=Update.order_key))
         else:
             ops = runs[0]
+        # Prune floors are snapshotted NOW, not when the queued propagate
+        # finally runs: a later drain may advance stable_time while this
+        # release still waits in the service queue, and gossiping the newer
+        # floor would let followers prune ops this replica has not shipped
+        # yet (lost if it crashes with the later propagate still queued).
+        floors = self._prune_floors()
         cost = (self.merge_round_cost
                 + self.forward_op_cost * len(ops) * max(1, len(self.destinations)))
-        self._enqueue(lambda: self._propagate(ops), cost)
+        self._enqueue(lambda: self._propagate(ops, floors), cost)
 
-    def _propagate(self, ops: list) -> None:
+    def _prune_floors(self):
+        """Hook: the replicated coordinator snapshots gossip floors here."""
+        return None
+
+    def _propagate(self, ops: list, floors=None) -> None:
         """Ship one merged stable run to every remote site."""
         self.merge_rounds += 1
         self.ops_stabilized += len(ops)
@@ -242,3 +317,186 @@ class ShardCoordinator(Process):
         batch = RemoteStableBatch(self.site, tuple(ops))
         for dest in self.destinations:
             self.send(dest, batch)
+        self._post_propagate(ops, floors)
+
+    def _post_propagate(self, ops: list, floors) -> None:
+        """Hook: the replicated coordinator gossips prune floors here."""
+
+
+class ReplicatedShardCoordinator(ShardCoordinator):
+    """One replica's merge head in a fault-tolerant sharded deployment.
+
+    R of these (one per :class:`ShardedReplicaGroup`) run the Ω election of
+    :mod:`repro.core.election` among themselves; each fronts its replica's
+    own K shards.  The leader merges its shards' stable sub-runs and ships
+    them exactly like the unreplicated :class:`ShardCoordinator`, then
+    gossips a :class:`~repro.core.messages.ShardStableVector` so follower
+    coordinators fan per-shard prune floors out to their local shards
+    (Alg. 4 lines 12–15, per shard).  Followers receive nothing from their
+    own shards — the shards' ``leader_gate`` keeps them from serializing —
+    so a follower's only stabilization work is ``drop_stable``.
+
+    Leadership uniqueness is *not* required for safety (the paper's §3.3
+    argument): during an election flap two coordinators may both ship and
+    both gossip, remote receivers deduplicate the overlap per origin, and
+    prune gossip only ever names ops that some leader actually shipped.
+    """
+
+    def __init__(self, env: Environment, name: str, site: int,
+                 n_shards: int, config: EunomiaConfig,
+                 replica_id: int,
+                 forward_op_cost: float = 0.0,
+                 merge_round_cost: float = 0.0,
+                 batch_cost: float = 0.0,
+                 metrics: Optional[MetricsHub] = None,
+                 stable_mark: Optional[str] = None):
+        super().__init__(env, name, site, n_shards, config,
+                         forward_op_cost=forward_op_cost,
+                         merge_round_cost=merge_round_cost,
+                         batch_cost=batch_cost,
+                         metrics=metrics, stable_mark=stable_mark)
+        self.replica_id = replica_id
+        self.peers: list["ReplicatedShardCoordinator"] = []
+        self.local_shards: list[EunomiaShard] = []
+        self.election = OmegaElection(
+            self, replica_id,
+            alive_interval=config.replica_alive_interval,
+            suspect_timeout=config.replica_suspect_timeout,
+            on_change=self._leadership_changed,
+        )
+        self.leadership_log: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_peers(self, peers: list["ReplicatedShardCoordinator"]) -> None:
+        """Register the other replicas' coordinators."""
+        self.peers = [p for p in peers if p is not self]
+        self.election.set_peers({p.replica_id: p for p in self.peers})
+
+    def set_shards(self, shards: list[EunomiaShard]) -> None:
+        """Register this replica's own K shards (prune fan-out targets)."""
+        self.local_shards = list(shards)
+
+    def start(self) -> None:
+        super().start()
+        self.election.start()
+
+    # ------------------------------------------------------------------
+    # Algorithm 4 behaviour
+    # ------------------------------------------------------------------
+    def _prune_floors(self):
+        # Snapshot at drain time: the floors this *particular* release
+        # covers.  Entries are capped at the global released StableTime —
+        # a shard's own floor may run ahead while its popped ops sit
+        # unshipped in this coordinator's merge queues, and those must
+        # survive on followers if this replica dies now.
+        released = self.stable_time
+        return tuple(min(s, released) for s in self.shard_stable)
+
+    def _post_propagate(self, ops: list, floors) -> None:
+        # Alg. 4 line 12, vectorized: tell follower replicas what is now
+        # shipped so their shards prune.
+        if not ops:
+            return
+        vector = ShardStableVector(floors)
+        for peer in self.peers:
+            self.send(peer, vector)
+
+    def on_shard_stable_vector(self, msg: ShardStableVector,
+                               src: Process) -> None:
+        # Follower side: fan the per-shard floors out to the local shards.
+        # Applying gossip is safe regardless of who believes they lead —
+        # every floor names only remotely shipped ops (see the cap above).
+        floor = min(msg.stable_times)
+        if floor > self.stable_time:
+            self.stable_time = floor
+        # A deposed leader may still hold popped-but-unreleased ops in its
+        # merge queues; everything at or below the gossiped floors has now
+        # been shipped by the current leader, so drop it here too (it
+        # would otherwise be re-released — harmless but wasteful — if
+        # this replica leads again).
+        for k, queue in enumerate(self._queues):
+            shipped = msg.stable_times[k]
+            while queue and queue[0].ts <= shipped:
+                queue.popleft()
+        for shard in self.local_shards:
+            self.send(shard, StableAnnounce(msg.stable_times[shard.shard_id]))
+
+    def on_replica_alive(self, msg: ReplicaAlive, src: Process) -> None:
+        self.election.on_alive(msg)
+
+    def _leadership_changed(self, leader_id: int) -> None:
+        self.leadership_log.append((self.now, leader_id))
+
+    def is_leader(self) -> bool:
+        """Whether this coordinator currently believes it leads the group."""
+        return self.election.is_leader()
+
+
+class ShardedReplicaGroup:
+    """One replica of the fault-tolerant sharded stabilizer: K shards + a
+    coordinator, presented as a unit (crash/recover target, introspection).
+
+    This is the ``EunomiaReplica`` analogue of the sharded world: drills
+    and figures crash *groups*, not individual shard processes — a replica
+    failure takes its whole pipeline down at once.
+    """
+
+    def __init__(self, replica_id: int,
+                 coordinator: ReplicatedShardCoordinator,
+                 shards: list[EunomiaShard]):
+        self.replica_id = replica_id
+        self.coordinator = coordinator
+        self.shards = list(shards)
+
+    @property
+    def name(self) -> str:
+        return self.coordinator.name
+
+    @property
+    def crashed(self) -> bool:
+        return self.coordinator.crashed
+
+    @property
+    def ops_stabilized(self) -> int:
+        return self.coordinator.ops_stabilized
+
+    @property
+    def stable_mark(self) -> str:
+        return self.coordinator.stable_mark
+
+    @property
+    def leadership_log(self) -> list[tuple[float, int]]:
+        return self.coordinator.leadership_log
+
+    def processes(self) -> list[Process]:
+        """All member processes, shards first (start order)."""
+        return [*self.shards, self.coordinator]
+
+    def start(self) -> None:
+        for proc in self.processes():
+            proc.start()
+
+    def crash(self) -> None:
+        """Crash-stop the whole replica: every shard and the coordinator."""
+        for proc in self.processes():
+            proc.crash()
+
+    def recover(self) -> None:
+        """Restart every member after a crash.
+
+        ``Process.recover`` alone would leave a zombie — the crash's epoch
+        bump permanently kills the epoch-guarded stabilization ticks and
+        election broadcasts armed at start-up — so each member is started
+        again.  Protocol state survives (crash-stop, not reset): the
+        uplinks' Alg. 4 retransmission backfills everything missed while
+        down, and anything the rejoining replica re-ships from its stale
+        ``StableTime`` is deduplicated by remote receivers.
+        """
+        for proc in self.processes():
+            proc.recover()
+            proc.start()
+
+    def is_leader(self) -> bool:
+        return self.coordinator.is_leader()

@@ -9,11 +9,16 @@ Every Eunomia-aware partition (and the §7.1 partition emulators) owns an
 * **heartbeats** (Alg. 2 lines 10–12): when the partition has been idle for
   Δ and its physical clock has caught up with the hybrid clock, a heartbeat
   advances ``PartitionTime`` at the service;
-* **fault-tolerant delivery** (Alg. 4, prefix property): with
+* **fault-tolerant delivery** (Alg. 4 lines 1–6, prefix property): with
   ``fault_tolerant=True`` the uplink tracks, per replica, the highest
-  acknowledged timestamp (``Ack_n[f]``) and retransmits the unacknowledged
-  suffix every interval — at-least-once delivery over lossy links, with
-  resends charged almost no sender CPU (the serialized run is reused).
+  acknowledged timestamp (``Ack_n[f]``, line 5) and retransmits the
+  unacknowledged suffix when acks stall (line 6) — at-least-once delivery
+  over lossy links, with resends charged almost no sender CPU (the
+  serialized run is reused).  The targets are opaque processes: in a
+  K-sharded replica group they are the partition's *owning shard in every
+  replica* (:meth:`repro.core.assembly.StabilizerStack.uplink_targets`),
+  so each (partition → shard) stream gets the prefix property
+  independently — the invariant the sharded failover argument rests on.
 
 The straggler experiment (Figure 7) works by inflating the *host's*
 ``batch_interval`` attribute, which the uplink re-reads before every tick.

@@ -1,12 +1,13 @@
 """Assembly of one EunomiaKV datacenter.
 
-A datacenter is N partitions (Alg. 2), an Eunomia service — one plain
-:class:`EunomiaService`, a replicated group of :class:`EunomiaReplica`, or
-(``n_shards > 1``) K :class:`EunomiaShard` workers behind a merging
-:class:`ShardCoordinator` — and a receiver (Alg. 5), all wired together.
-``connect`` then links datacenters pairwise: every stable-run propagator
-(replica or coordinator) gains every remote receiver as a destination, and
-every partition learns its remote siblings for the §5 direct data shipping.
+A datacenter is N partitions (Alg. 2), an Eunomia stabilizer complex — any
+of the four shapes :func:`repro.core.assembly.build_stabilizer_stack`
+produces (plain service, Alg. 4 replica group, K-shard pipeline, or the
+fault-tolerant K-shard × R-replica composition) — and a receiver (Alg. 5),
+all wired together.  ``connect`` then links datacenters pairwise: every
+stable-run propagator (service, replica, or coordinator) gains every
+remote receiver as a destination, and every partition learns its remote
+siblings for the §5 direct data shipping.
 """
 
 from __future__ import annotations
@@ -16,15 +17,12 @@ from typing import Callable, Optional
 from ..calibration import Calibration
 from ..clocks.ntp import NtpSynchronizer
 from ..clocks.physical import PhysicalClock
+from ..core.assembly import build_stabilizer_stack
 from ..core.config import EunomiaConfig
 from ..core.partition import EunomiaPartition
-from ..core.replica import EunomiaReplica
-from ..core.service import EunomiaService
-from ..core.shard import EunomiaShard, ShardCoordinator, ShardMap
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
-from ..sim.process import CostModel
 
 __all__ = ["Datacenter"]
 
@@ -63,62 +61,20 @@ class Datacenter:
             )
             self.partitions.append(partition)
 
-        # -- Eunomia service (plain, replicated, or sharded) ---------------
-        self.eunomia_replicas: list[EunomiaService] = []
-        self.shards: list[EunomiaShard] = []
-        self.coordinator: Optional[ShardCoordinator] = None
-        self.shard_map: Optional[ShardMap] = None
-        if config.n_shards > 1:
-            self.shard_map = ShardMap(n_partitions, config.n_shards,
-                                      config.shard_policy)
-            self.coordinator = ShardCoordinator(
-                env, f"dc{dc_id}/eunomia-coord", dc_id, config.n_shards,
-                config,
-                forward_op_cost=cal.cost("eunomia_coord_op"),
-                merge_round_cost=cal.overhead("eunomia_coord_round"),
-                batch_cost=cal.overhead("eunomia_batch"),
-                metrics=self.metrics,
-            )
-            for sid in range(config.n_shards):
-                shard = EunomiaShard(
-                    env, f"dc{dc_id}/eunomia-shard{sid}", dc_id,
-                    n_partitions, config, shard_id=sid,
-                    owned=self.shard_map.owned_by(sid),
-                    serialize_op_cost=cal.cost("eunomia_shard_serialize_op"),
-                    stab_round_cost=cal.overhead("eunomia_stab_round"),
-                    insert_op_cost=cal.cost("eunomia_insert_op"),
-                    batch_cost=cal.overhead("eunomia_batch"),
-                    heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-                    metrics=self.metrics, tree_factory=tree_factory,
-                )
-                shard.set_coordinator(self.coordinator)
-                self.shards.append(shard)
-        elif config.fault_tolerant:
-            for rid in range(config.n_replicas):
-                replica = EunomiaReplica(
-                    env, f"dc{dc_id}/eunomia{rid}", dc_id, n_partitions,
-                    config, replica_id=rid,
-                    ack_cost=cal.overhead("eunomia_ack"),
-                    propagate_op_cost=cal.cost("eunomia_propagate_op"),
-                    stab_round_cost=cal.overhead("eunomia_stab_round"),
-                    insert_op_cost=cal.cost("eunomia_insert_op"),
-                    batch_cost=cal.overhead("eunomia_batch"),
-                    heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-                    metrics=self.metrics, tree_factory=tree_factory,
-                )
-                self.eunomia_replicas.append(replica)
-            for replica in self.eunomia_replicas:
-                replica.set_peers(self.eunomia_replicas)
-        else:
-            self.eunomia_replicas.append(EunomiaService(
-                env, f"dc{dc_id}/eunomia", dc_id, n_partitions, config,
-                propagate_op_cost=cal.cost("eunomia_propagate_op"),
-                stab_round_cost=cal.overhead("eunomia_stab_round"),
-                insert_op_cost=cal.cost("eunomia_insert_op"),
-                batch_cost=cal.overhead("eunomia_batch"),
-                heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-                metrics=self.metrics, tree_factory=tree_factory,
-            ))
+        # -- Eunomia stabilizer complex (any of the four shapes) -----------
+        self.stack = build_stabilizer_stack(
+            env, dc_id, n_partitions, config, cal, metrics=self.metrics,
+            tree_factory=tree_factory, name_prefix=f"dc{dc_id}/",
+        )
+        self.eunomia_replicas = self.stack.replicas
+        self.shards = self.stack.shards
+        self.coordinators = self.stack.coordinators
+        #: the single coordinator of an unreplicated sharded deployment
+        #: (None otherwise; kept for ablation/test introspection)
+        self.coordinator = (self.coordinators[0]
+                            if len(self.coordinators) == 1 else None)
+        self.replica_groups = self.stack.groups
+        self.shard_map = self.stack.shard_map
 
         # -- receiver -----------------------------------------------------
         self.receiver = Receiver(
@@ -129,37 +85,7 @@ class Datacenter:
         self.receiver.set_partitions(ring, self.partitions)
 
         # -- partition → stabilizer wiring (§5 tree optional) --------------
-        self.relays = []
-        if config.use_propagation_tree:
-            from ..core.tree import TreeRelay
-
-            groups = [self.partitions[i:i + config.tree_fanout]
-                      for i in range(0, n_partitions, config.tree_fanout)]
-            for g, group in enumerate(groups):
-                relay = TreeRelay(
-                    env, f"dc{dc_id}/relay{g}", dc_id,
-                    flush_interval=config.tree_flush_interval,
-                    forward_cost=cal.overhead("relay_forward"),
-                    flush_cost=cal.overhead("relay_flush"),
-                    metrics=self.metrics,
-                )
-                if self.shards:
-                    relay.set_upstream(self.shards)
-                    relay.set_routing({
-                        p.index: self.shards[self.shard_map.shard_of(p.index)]
-                        for p in group})
-                else:
-                    relay.set_upstream(self.eunomia_replicas)
-                for partition in group:
-                    partition.set_eunomia([relay])
-                self.relays.append(relay)
-        elif self.shards:
-            for partition in self.partitions:
-                owner = self.shards[self.shard_map.shard_of(partition.index)]
-                partition.set_eunomia([owner])
-        else:
-            for partition in self.partitions:
-                partition.set_eunomia(self.eunomia_replicas)
+        self.relays = self.stack.wire_uplinks(self.partitions)
 
     # ------------------------------------------------------------------
     # Cross-datacenter wiring
@@ -175,9 +101,7 @@ class Datacenter:
 
     def propagators(self) -> list:
         """The processes that ship stable runs to remote receivers."""
-        if self.coordinator is not None:
-            return [self.coordinator]
-        return list(self.eunomia_replicas)
+        return self.stack.propagators()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -187,26 +111,17 @@ class Datacenter:
             partition.start()
         for relay in self.relays:
             relay.start()
-        for shard in self.shards:
-            shard.start()
-        if self.coordinator is not None:
-            self.coordinator.start()
-        for replica in self.eunomia_replicas:
-            replica.start()
+        for proc in self.stack.processes():
+            proc.start()
         self.receiver.start()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def leader(self):
-        """The process shipping stable runs: the leading replica, the plain
-        service, or (sharded) the coordinator."""
-        if self.coordinator is not None:
-            return self.coordinator
-        for replica in self.eunomia_replicas:
-            if not replica.crashed and getattr(replica, "is_leader", lambda: True)():
-                return replica
-        return self.eunomia_replicas[0]
+        """The process shipping stable runs: the plain service, the leading
+        replica, or the (leading replica's) shard coordinator."""
+        return self.stack.leader()
 
     def store_snapshot(self) -> dict:
         """Union of all partition stores: key → (ts, origin, value)."""

@@ -8,6 +8,11 @@ detector suspects the old leader, then back to ~95–100%) and dies at t₂;
 3-FT survives both.  The paper's 700-second timeline is compressed — the
 phenomena (failover gap ≈ the suspicion timeout, full recovery) are
 interval-free.
+
+With ``n_shards > 1`` the same schedule crashes whole
+:class:`~repro.core.shard.ShardedReplicaGroup` pipelines (Alg. 4 × K):
+the expected shape is identical, which is the point — replicating the
+sharded stabilizer buys the paper's failover story at K-shard throughput.
 """
 
 from __future__ import annotations
@@ -28,6 +33,10 @@ __all__ = ["Fig4Params", "run"]
 class Fig4Params:
     n_partitions: int = 10
     replica_counts: tuple = (1, 2, 3)
+    #: 1 reproduces the paper's figure; >1 runs the same crash schedule
+    #: against replicated *sharded* groups (Alg. 4 × K) — each crash takes
+    #: down a whole K-shard replica pipeline.
+    n_shards: int = 1
     duration: float = 45.0
     crash1: float = 12.0
     crash2: float = 30.0
@@ -39,6 +48,13 @@ class Fig4Params:
     def quick(cls) -> "Fig4Params":
         return cls(n_partitions=6, duration=24.0, crash1=7.0, crash2=16.0,
                    window=1.0)
+
+    @classmethod
+    def quick_sharded(cls) -> "Fig4Params":
+        """The failover timeline for K=2-sharded replica groups."""
+        quick = cls.quick()
+        quick.n_shards = 2
+        return quick
 
 
 def _phase_mean(timeline, start: float, end: float) -> float:
@@ -55,6 +71,7 @@ def run(params: Optional[Fig4Params] = None) -> FigureResult:
 
     def make_config(ft: bool, replicas: int) -> EunomiaConfig:
         return EunomiaConfig(fault_tolerant=ft, n_replicas=replicas,
+                             n_shards=p.n_shards,
                              batch_interval=p.batch_interval,
                              heartbeat_interval=p.batch_interval)
 
@@ -71,10 +88,13 @@ def run(params: Optional[Fig4Params] = None) -> FigureResult:
                                 calibration=cal, seed=p.seed)
         # Crash the initial leader at t1 and its successor at t2.  Replica
         # ids are elected lowest-first, so the leadership order is 0, 1, 2.
-        replicas_list = rig.service_processes
-        rig.env.loop.schedule_at(p.crash1, replicas_list[0].crash)
+        # ``rig.groups`` holds the crash units — Alg. 4 replicas when
+        # K=1, whole ShardedReplicaGroups (K shards + coordinator) when
+        # the stabilizer is sharded.
+        groups = rig.groups
+        rig.env.loop.schedule_at(p.crash1, groups[0].crash)
         if replicas >= 2:
-            rig.env.loop.schedule_at(p.crash2, replicas_list[1].crash)
+            rig.env.loop.schedule_at(p.crash2, groups[1].crash)
         rig.run(p.duration)
 
         timeline = [(t, rate / base_rate)

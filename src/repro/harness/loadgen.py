@@ -22,25 +22,24 @@ Throughput is read from the service-side marks: ``eunomia_stable:dc0``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from ..calibration import Calibration
 from ..clocks.hlc import HybridLogicalClock
 from ..clocks.physical import PhysicalClock
+from ..core.assembly import build_stabilizer_stack
 from ..core.config import EunomiaConfig
 from ..core.messages import BatchAck
-from ..core.replica import EunomiaReplica
-from ..core.service import EunomiaService
 from ..core.uplink import EunomiaUplink
 from ..kvstore.types import Update
 from ..metrics import MetricsHub, steady_window, throughput
 from ..sim.env import Environment
 from ..sim.latency import ConstantLatency
 from ..sim.network import Network
-from ..sim.process import CostModel, Process
+from ..sim.process import Process
 from .. import baselines
 from ..baselines.messages import SeqReply, SeqRequest
-from ..baselines.sequencer import ChainSequencerNode, Sequencer, build_chain
+from ..baselines.sequencer import Sequencer, build_chain
 
 __all__ = [
     "RemoteSink",
@@ -171,6 +170,10 @@ class ServiceRig:
     service_processes: list
     sink: RemoteSink
     throughput_mark: str
+    #: replica-failure targets, in election order (Alg. 4 replicas or
+    #: :class:`~repro.core.shard.ShardedReplicaGroup`s); empty when the
+    #: service has no replicas to crash
+    groups: list = field(default_factory=list)
     _run_window: tuple[float, float] = field(default=(0.0, 0.0))
 
     def start(self) -> None:
@@ -203,7 +206,8 @@ def build_eunomia_rig(n_partitions: int,
                       calibration: Optional[Calibration] = None,
                       seed: int = 0,
                       metrics: Optional[MetricsHub] = None) -> ServiceRig:
-    """Eunomia (plain or replicated per ``config``) under emulator load."""
+    """Eunomia under emulator load, in any of the four stabilizer shapes
+    (plain, Alg. 4 replicated, K-sharded, or fault-tolerant K × R)."""
     config = config or EunomiaConfig()
     config.validate()
     cal = calibration or Calibration()
@@ -211,129 +215,24 @@ def build_eunomia_rig(n_partitions: int,
     env = Environment(seed=seed)
     Network(env, ConstantLatency(INTRA_DC_LATENCY))
 
-    if config.n_shards > 1:
-        return _build_sharded_rig(env, n_partitions, config, cal, metrics)
-
-    services: list[EunomiaService] = []
-    if config.fault_tolerant:
-        for rid in range(config.n_replicas):
-            services.append(EunomiaReplica(
-                env, f"eunomia{rid}", 0, n_partitions, config,
-                replica_id=rid, ack_cost=cal.overhead("eunomia_ack"),
-                propagate_op_cost=cal.cost("eunomia_propagate_op"),
-                stab_round_cost=cal.overhead("eunomia_stab_round"),
-                insert_op_cost=cal.cost("eunomia_insert_op"),
-                batch_cost=cal.overhead("eunomia_batch"),
-                heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-                metrics=metrics, stable_mark="eunomia_stable:dc0",
-            ))
-        for service in services:
-            service.set_peers(services)
-    else:
-        services.append(EunomiaService(
-            env, "eunomia", 0, n_partitions, config,
-            propagate_op_cost=cal.cost("eunomia_propagate_op"),
-            stab_round_cost=cal.overhead("eunomia_stab_round"),
-            insert_op_cost=cal.cost("eunomia_insert_op"),
-            batch_cost=cal.overhead("eunomia_batch"),
-            heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-            metrics=metrics, stable_mark="eunomia_stable:dc0",
-        ))
-
+    stack = build_stabilizer_stack(env, 0, n_partitions, config, cal,
+                                   metrics=metrics,
+                                   stable_mark="eunomia_stable:dc0")
     sink = RemoteSink(env)
-    for service in services:
-        service.add_destination(sink)
+    for propagator in stack.propagators():
+        propagator.add_destination(sink)
 
     drivers = [
         PartitionEmulator(env, f"part{i}", i, config, calibration=cal,
                           metrics=metrics)
         for i in range(n_partitions)
     ]
-    service_processes: list[Process] = list(services)
-    if config.use_propagation_tree:
-        from ..core.tree import TreeRelay
-
-        groups = [drivers[i:i + config.tree_fanout]
-                  for i in range(0, n_partitions, config.tree_fanout)]
-        for g, group in enumerate(groups):
-            relay = TreeRelay(env, f"relay{g}", 0,
-                              flush_interval=config.tree_flush_interval,
-                              forward_cost=cal.overhead("relay_forward"),
-                              flush_cost=cal.overhead("relay_flush"),
-                              metrics=metrics)
-            relay.set_upstream(services)
-            for driver in group:
-                driver.set_eunomia([relay])
-            service_processes.append(relay)
-    else:
-        for driver in drivers:
-            driver.set_eunomia(services)
+    service_processes: list[Process] = stack.processes()
+    service_processes.extend(stack.wire_uplinks(drivers))
 
     return ServiceRig(env, metrics, drivers, service_processes, sink,
-                      throughput_mark="eunomia_stable:dc0")
-
-
-def _build_sharded_rig(env: Environment, n_partitions: int,
-                       config: EunomiaConfig, cal: Calibration,
-                       metrics: MetricsHub) -> ServiceRig:
-    """K Eunomia shards + merging coordinator under emulator load."""
-    from ..core.shard import EunomiaShard, ShardCoordinator, ShardMap
-
-    shard_map = ShardMap(n_partitions, config.n_shards, config.shard_policy)
-    coordinator = ShardCoordinator(
-        env, "eunomia-coord", 0, config.n_shards, config,
-        forward_op_cost=cal.cost("eunomia_coord_op"),
-        merge_round_cost=cal.overhead("eunomia_coord_round"),
-        batch_cost=cal.overhead("eunomia_batch"),
-        metrics=metrics, stable_mark="eunomia_stable:dc0",
-    )
-    shards = []
-    for sid in range(config.n_shards):
-        shard = EunomiaShard(
-            env, f"eunomia-shard{sid}", 0, n_partitions, config,
-            shard_id=sid, owned=shard_map.owned_by(sid),
-            serialize_op_cost=cal.cost("eunomia_shard_serialize_op"),
-            stab_round_cost=cal.overhead("eunomia_stab_round"),
-            insert_op_cost=cal.cost("eunomia_insert_op"),
-            batch_cost=cal.overhead("eunomia_batch"),
-            heartbeat_cost=cal.overhead("eunomia_heartbeat"),
-            metrics=metrics,
-        )
-        shard.set_coordinator(coordinator)
-        shards.append(shard)
-
-    sink = RemoteSink(env)
-    coordinator.add_destination(sink)
-
-    drivers = [
-        PartitionEmulator(env, f"part{i}", i, config, calibration=cal,
-                          metrics=metrics)
-        for i in range(n_partitions)
-    ]
-    service_processes: list[Process] = list(shards) + [coordinator]
-    if config.use_propagation_tree:
-        from ..core.tree import TreeRelay
-
-        groups = [drivers[i:i + config.tree_fanout]
-                  for i in range(0, n_partitions, config.tree_fanout)]
-        for g, group in enumerate(groups):
-            relay = TreeRelay(env, f"relay{g}", 0,
-                              flush_interval=config.tree_flush_interval,
-                              forward_cost=cal.overhead("relay_forward"),
-                              flush_cost=cal.overhead("relay_flush"),
-                              metrics=metrics)
-            relay.set_upstream(shards)
-            relay.set_routing({d.index: shards[shard_map.shard_of(d.index)]
-                               for d in group})
-            for driver in group:
-                driver.set_eunomia([relay])
-            service_processes.append(relay)
-    else:
-        for driver in drivers:
-            driver.set_eunomia([shards[shard_map.shard_of(driver.index)]])
-
-    return ServiceRig(env, metrics, drivers, service_processes, sink,
-                      throughput_mark="eunomia_stable:dc0")
+                      throughput_mark="eunomia_stable:dc0",
+                      groups=stack.crash_units())
 
 
 def build_sequencer_rig(n_clients: int, chain_length: int = 1,

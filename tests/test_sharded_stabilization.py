@@ -3,21 +3,27 @@
 The load-bearing property: for the same input timelines, the K-shard
 deployment must emit *op-for-op the same stable serialization* as the K=1
 single stabilizer — sharding is an implementation strategy, not a semantic
-change (Properties 1–2 preserved through the K-way merge).
+change (Properties 1–2 preserved through the K-way merge).  The replicated
+composition (Alg. 4 × K shards) extends the property: the *deduplicated*
+delivered stream must stay identical even when the leader replica group
+crashes mid-run and a follower takes over.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.calibration import Calibration
 from repro.checker import CausalChecker, SessionHistory
 from repro.core import (
     EunomiaConfig,
     EunomiaService,
     EunomiaShard,
+    ReplicatedShardCoordinator,
     ShardCoordinator,
     ShardMap,
     TreeRelay,
+    build_stabilizer_stack,
 )
 from repro.core.messages import AddOpBatch, PartitionHeartbeat, ShardStableBatch
 from repro.geo.system import GeoSystemSpec, build_eunomia_system
@@ -58,6 +64,41 @@ class ShardSink(Process):
         self.batches.append(msg)
 
 
+class DedupSink(Process):
+    """A remote sink with Algorithm 5's per-origin dedup.
+
+    A new leader legitimately re-ships the window between the last prune
+    gossip and the crash; real receivers drop that overlap against the
+    highest ``(ts, origin, seq)`` key already enqueued per origin DC
+    (see ``repro.geo.receiver``), so the equivalence tests compare the
+    *deduplicated* stream.
+    """
+
+    def __init__(self, env):
+        super().__init__(env, "sink", site=1)
+        self.ops = []
+        self.duplicates = 0
+        self._last = {}
+
+    def on_remote_stable_batch(self, msg, src):
+        last = self._last.get(msg.origin_dc, (0, -1, -1))
+        for op in msg.ops:
+            key = op.order_key()
+            if key <= last:
+                self.duplicates += 1
+                continue
+            last = key
+            self.ops.append(op)
+        self._last[msg.origin_dc] = last
+
+
+class AckFeeder(Process):
+    """Feeds batches directly and swallows the replicas' Alg. 4 acks."""
+
+    def on_batch_ack(self, msg, src):
+        pass
+
+
 # ----------------------------------------------------------------------
 # ShardMap / config validation
 # ----------------------------------------------------------------------
@@ -89,10 +130,15 @@ class TestShardAssignment:
         with pytest.raises(ValueError, match="at least one Eunomia shard"):
             EunomiaConfig(n_shards=0).validate()
 
-    def test_sharding_with_fault_tolerance_rejected(self):
-        with pytest.raises(ValueError, match="sharded stabilization"):
-            EunomiaConfig(n_shards=2, fault_tolerant=True,
-                          n_replicas=2).validate()
+    def test_sharding_composes_with_fault_tolerance(self):
+        """The Alg. 4 × K composition validates (PR 1's rejection lifted)."""
+        EunomiaConfig(n_shards=4, fault_tolerant=True,
+                      n_replicas=3).validate()
+
+    def test_sharding_with_ft_still_rejects_propagation_tree(self):
+        with pytest.raises(ValueError, match="propagation tree"):
+            EunomiaConfig(n_shards=2, fault_tolerant=True, n_replicas=2,
+                          use_propagation_tree=True).validate()
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown shard policy"):
@@ -159,6 +205,75 @@ timelines = st.lists(
              min_size=0, max_size=24),
     min_size=4, max_size=8,
 ).map(lambda per_part: [sorted(set(ts)) for ts in per_part])
+
+
+def run_replicated_stabilization(ts_by_partition, n_shards, n_replicas,
+                                 crash_leader=False, batch_size=3):
+    """Feed fixed timelines into an Alg. 4 × K deployment; return the
+    deduplicated delivered stable order (uids) plus the sink."""
+    env = Environment(seed=42)
+    Network(env, ConstantLatency(0.0001))
+    n_parts = len(ts_by_partition)
+    config = EunomiaConfig(stabilization_interval=0.004,
+                           n_shards=n_shards, n_replicas=n_replicas,
+                           fault_tolerant=True,
+                           replica_alive_interval=0.03,
+                           replica_suspect_timeout=0.1)
+    config.validate()
+    stack = build_stabilizer_stack(env, 0, n_parts, config, Calibration())
+    sink = DedupSink(env)
+    for propagator in stack.propagators():
+        propagator.add_destination(sink)
+    for proc in stack.processes():
+        proc.start()
+
+    feeder = AckFeeder(env, "feeder")
+
+    def feed(p, chunk, prev):
+        batch = AddOpBatch(p, tuple(chunk), prev_ts=prev)
+        for target in stack.uplink_targets(p):
+            feeder.send(target, batch)
+
+    # Chunk every partition's timeline, then feed round-robin across
+    # partitions so the first half advances *every* shard's stable floor
+    # (the crashing leader then ships a real prefix before it dies).
+    per_part = []        # per partition: [(chunk, prev_ts), ...]
+    top = 0
+    for p, ts_list in enumerate(ts_by_partition):
+        ops = [make_op(ts, p, seq=i + 1) for i, ts in enumerate(ts_list)]
+        prev, entries = 0, []
+        for i in range(0, len(ops), batch_size):
+            chunk = ops[i:i + batch_size]
+            entries.append((chunk, prev))
+            prev = chunk[-1].ts
+        per_part.append(entries)
+        if ts_list:
+            top = max(top, ts_list[-1])
+    chunks = []          # (partition, chunk, prev_ts), round-robin order
+    for round_i in range(max((len(e) for e in per_part), default=0)):
+        for p, entries in enumerate(per_part):
+            if round_i < len(entries):
+                chunks.append((p, *entries[round_i]))
+    half = len(chunks) // 2
+    for p, chunk, prev in chunks[:half]:
+        feed(p, chunk, prev)
+
+    if crash_leader:
+        # Let the initial leader ship part of the stream, then kill it —
+        # the whole replica group (coordinator + K shards) when sharded,
+        # the Alg. 4 replica when K=1.
+        env.run(until=0.05)
+        stack.crash_units()[0].crash()
+
+    for p, chunk, prev in chunks[half:]:
+        feed(p, chunk, prev)
+    for p in range(n_parts):
+        beat = PartitionHeartbeat(p, top + 1)
+        for target in stack.uplink_targets(p):
+            feeder.send(target, beat)
+    # Past the suspicion timeout + several stabilization rounds.
+    env.run(until=1.0)
+    return [op.uid for op in sink.ops], sink, stack
 
 
 class TestMergeDeterminism:
@@ -231,6 +346,125 @@ class TestMergeDeterminism:
         # partitions 1 and 3 are silent but unowned — stability unaffected
         assert shard.announced == 10
         assert [op.ts for b in shard_sink.batches for op in b.ops] == [10]
+
+
+# ----------------------------------------------------------------------
+# Replicated sharding (Algorithm 4 × K): equivalence + failover
+# ----------------------------------------------------------------------
+class TestReplicatedSharding:
+    @settings(max_examples=12, deadline=None)
+    @given(timelines=timelines,
+           shape=st.sampled_from([(2, 2), (4, 3), (1, 3)]))
+    def test_replicated_output_identical_even_under_leader_crash(
+            self, timelines, shape):
+        """The K×R leader's deduplicated output is op-for-op identical to
+        the K=1 single stabilizer and the unreplicated K-shard service —
+        with the initial leader group crashed mid-run or left alone."""
+        n_shards, n_replicas = shape
+        reference = run_stabilization(timelines, n_shards=1)
+        assert run_stabilization(timelines, n_shards=max(n_shards, 1)) \
+            == reference
+        healthy, sink, _ = run_replicated_stabilization(
+            timelines, n_shards, n_replicas)
+        assert healthy == reference
+        crashed, sink, _ = run_replicated_stabilization(
+            timelines, n_shards, n_replicas, crash_leader=True)
+        assert crashed == reference
+
+    def test_failover_resumes_with_survivor_leader(self):
+        tls = [[10, 30, 50, 70, 90], [20, 40, 60, 80],
+               [15, 35, 55, 75], [25, 45, 65, 85]]
+        uids, sink, stack = run_replicated_stabilization(
+            tls, n_shards=2, n_replicas=3, crash_leader=True)
+        assert uids == run_stabilization(tls, n_shards=1)
+        assert stack.groups[0].crashed
+        survivors = [g for g in stack.groups if not g.crashed]
+        assert [g.is_leader() for g in survivors] == [True, False]
+        assert stack.leader() is stack.groups[1].coordinator
+
+    def test_follower_shards_never_serialize(self):
+        tls = [[10, 30], [20, 40]]
+        _, _, stack = run_replicated_stabilization(tls, n_shards=2,
+                                                   n_replicas=2)
+        leader, follower = stack.groups
+        assert leader.ops_stabilized == 4
+        assert follower.ops_stabilized == 0
+        assert all(s.announced == 0 for s in follower.shards)
+        # ...but followers still pruned on gossip: nothing stable lingers.
+        assert all(len(s.buffer) == 0 for s in follower.shards)
+
+    def test_crashed_group_recovers_and_reclaims_leadership(self):
+        """recover() must re-arm stab ticks + election (no zombie replica);
+        the rejoined lowest-id group reclaims leadership, its stale
+        re-ships dedup away, and the stream still matches K=1."""
+        config = EunomiaConfig(n_shards=2, n_replicas=2, fault_tolerant=True,
+                               replica_alive_interval=0.05,
+                               replica_suspect_timeout=0.16)
+
+        def collect(cfg, crash_recover):
+            rig = build_eunomia_rig(4, config=cfg, seed=33)
+            rig.sink.record = True
+            if crash_recover:
+                rig.env.loop.schedule_at(0.15, rig.groups[0].crash)
+                rig.env.loop.schedule_at(0.45, rig.groups[0].recover)
+            rig.run(0.8)
+            for driver in rig.drivers:
+                driver.stop()
+            rig.env.run(until=rig.env.now + 0.8)
+            return rig
+
+        # Reference: the same FT config, no crash.  (A non-FT rig would
+        # generate a different op count — FT uplinks pay transmit CPU per
+        # replica, which slows the closed-loop drivers slightly.)
+        reference = collect(config, False).sink.collected
+        rig = collect(config, True)
+        assert rig.groups[0].is_leader()       # lowest id reclaimed Ω
+        assert not rig.groups[1].is_leader()
+        assert rig.groups[0].coordinator.merge_rounds > 0
+        seen, deduped = set(), []
+        for uid in rig.sink.collected:         # Alg. 5 dedup, first copy wins
+            if uid not in seen:
+                seen.add(uid)
+                deduped.append(uid)
+        assert deduped == reference
+
+    def test_prune_floor_capped_at_shipped_stable_time(self):
+        """A leader shard's floor may outrun the released StableTime while
+        its popped ops sit in the merge queues; follower shards must keep
+        exactly those ops (they die with the leader otherwise)."""
+        env = Environment(seed=13)
+        Network(env, ConstantLatency(0.0001))
+        config = EunomiaConfig(n_shards=2, n_replicas=2, fault_tolerant=True)
+        leader = ReplicatedShardCoordinator(env, "lead", 0, 2, config,
+                                            replica_id=0)
+        follower = ReplicatedShardCoordinator(env, "follow", 0, 2, config,
+                                              replica_id=1)
+        leader.set_peers([leader, follower])
+        follower.set_peers([leader, follower])
+        fshards = [EunomiaShard(env, f"f-shard{s}", 0, 2, config,
+                                shard_id=s, owned=[s],
+                                leader_gate=follower.is_leader)
+                   for s in range(2)]
+        follower.set_shards(fshards)
+        sink = Sink(env)
+        leader.add_destination(sink)
+        # The follower's shard 0 holds ops at 40 and 80.
+        fshards[0].buffer.add(40, 0, 1, make_op(40, 0, seq=1))
+        fshards[0].buffer.add(80, 0, 2, make_op(80, 0, seq=2))
+        feeder = Process(env, "feeder")
+        # Leader shard 0 announces floor 100 (ops 40 + 80 popped), shard 1
+        # only 50 (op 45): global StableTime 50 releases 40 and 45; op 80
+        # stays queued at the leader, unshipped.
+        feeder.send(leader, ShardStableBatch(
+            0, 100, (make_op(40, 0, seq=1), make_op(80, 0, seq=2))))
+        feeder.send(leader, ShardStableBatch(1, 50, (make_op(45, 1, seq=1),)))
+        env.run(until=0.05)
+        assert [op.ts for op in sink.ops] == [40, 45]
+        # Gossip pruned the follower's ts=40 but kept the unshipped ts=80.
+        assert len(fshards[0].buffer) == 1
+        assert fshards[0].buffer.min_ts() == 80
+        assert fshards[0].stable_time == 50
+        assert follower.stable_time == 50
 
 
 # ----------------------------------------------------------------------
@@ -363,6 +597,60 @@ class TestShardedEndToEnd:
         system.quiesce(3.0)
         assert system.converged()
         assert len(system.datacenters[0].relays) == 2
+
+    def test_ft_sharded_geo_system_converges_and_is_causal(self):
+        """Acceptance shape: n_shards=4 × n_replicas=3 runs end-to-end."""
+        config = EunomiaConfig(n_shards=4, n_replicas=3, fault_tolerant=True)
+        history = SessionHistory()
+        system = build_eunomia_system(
+            GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=3,
+                          seed=15),
+            WorkloadSpec(read_ratio=0.8, n_keys=60),
+            config=config, history=history)
+        system.run(3.0)
+        system.quiesce(3.0)
+        assert system.converged()
+        assert CausalChecker(history).check() == []
+        dc = system.datacenters[0]
+        assert len(dc.replica_groups) == 3
+        assert len(dc.shards) == 12 and len(dc.coordinators) == 3
+        assert dc.leader() is dc.replica_groups[0].coordinator
+        assert dc.replica_groups[0].ops_stabilized > 0
+        # Followers never serialized, but their shards were pruned.
+        for group in dc.replica_groups[1:]:
+            assert group.ops_stabilized == 0
+
+    def test_ft_sharded_geo_leader_crash_loses_and_duplicates_nothing(self):
+        """Kill dc0's leading replica group mid-run: the survivors take
+        over and every datacenter still converges causally — no stable op
+        is lost, and the re-shipped overlap is deduplicated remotely."""
+        config = EunomiaConfig(n_shards=2, n_replicas=3, fault_tolerant=True,
+                               replica_alive_interval=0.25,
+                               replica_suspect_timeout=0.8)
+        history = SessionHistory()
+        system = build_eunomia_system(
+            GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=3,
+                          seed=16),
+            WorkloadSpec(read_ratio=0.8, n_keys=60),
+            config=config, history=history)
+        dc0 = system.datacenters[0]
+        system.env.loop.schedule_at(1.5, dc0.replica_groups[0].crash)
+        system.run(4.0)
+        system.quiesce(4.0)
+        assert dc0.replica_groups[0].crashed
+        assert system.converged()
+        assert CausalChecker(history).check() == []
+        assert dc0.leader() is dc0.replica_groups[1].coordinator
+        assert dc0.replica_groups[1].ops_stabilized > 0
+        # Exact accounting at every remote receiver: each op committed in
+        # a remote DC applied exactly once (a duplicate apply would push
+        # the count over, a lost op would leave it under).
+        for dc in system.datacenters:
+            expected = sum(p.local_updates
+                           for other in system.datacenters
+                           if other is not dc
+                           for p in other.partitions)
+            assert dc.receiver.applied == expected
 
     def test_single_shard_config_uses_plain_service(self):
         system = build_eunomia_system(
