@@ -223,6 +223,49 @@ def bench_opbuffer_backend_overload_rig(benchmark):
     assert wall_gain > 0.9
 
 
+def bench_durability_overhead_sweep(benchmark):
+    """WAL durability cost across stabilizer shapes (durability × K × R).
+
+    Each shape runs the §7.1 overload rig twice — crash-stop-with-perfect-
+    memory (``durability="none"``) versus the write-ahead-log stack
+    (``durability="wal"`` at the default checkpoint interval: per-op log
+    staging on the ingest path, group-commit fsyncs + checkpoints on the
+    disk lane, ack-after-fsync for the fault-tolerant shapes) — and reports
+    the stabilization-throughput overhead of durability.  The acceptance
+    bar: ≤ 15% at the default checkpoint interval for every shape,
+    including the K=4 × R=3 composition the recovery drill crashes.
+    """
+    cal = Calibration(emulated_partition_gen_us=25.0)
+
+    def run_shape(n_shards, n_replicas, durability):
+        config = EunomiaConfig(n_shards=n_shards, n_replicas=n_replicas,
+                               fault_tolerant=n_replicas > 1,
+                               durability=durability)
+        rig = build_eunomia_rig(24, config=config, calibration=cal, seed=13)
+        rig.run(1.0)
+        return rig.throughput()
+
+    def sweep():
+        rows = []
+        for n_shards, n_replicas in ((1, 1), (1, 3), (4, 3)):
+            plain = run_shape(n_shards, n_replicas, "none")
+            durable = run_shape(n_shards, n_replicas, "wal")
+            rows.append((n_shards, n_replicas, round(plain, 0),
+                         round(durable, 0),
+                         round(100.0 * (1.0 - durable / plain), 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["n_shards", "n_replicas", "none_ops_s", "wal_ops_s", "overhead_%"],
+        rows))
+    for n_shards, n_replicas, _, _, overhead in rows:
+        assert overhead <= 15.0, (
+            f"durability overhead {overhead}% at K={n_shards} R={n_replicas} "
+            "exceeds the 15% bar (default checkpoint interval)")
+
+
 def bench_shard_count_sweep(benchmark):
     """Sharded stabilization under overload: throughput must scale with K.
 

@@ -39,3 +39,21 @@ def bench_fig4_failure_timeline_sharded(benchmark):
     """The same failure schedule against K=2 ShardedReplicaGroups."""
     _assert_failover_shape(run_figure(benchmark, fig4,
                                       fig4.Fig4Params.quick_sharded()))
+
+
+def bench_fig4_amnesia_rejoin(benchmark):
+    """Crash → amnesia → rejoin (durability="wal", beyond the paper).
+
+    The K=2 × 3-replica leader group loses its state at t₁ and rejoins at
+    t₂ via checkpoint + WAL replay and peer state transfer.  Asserted
+    shape: healthy before the crash, the interim leader carries near-full
+    throughput through the outage, and the restored leader carries it
+    after the rejoin handover — amnesia costs availability only for the
+    failover/handover dips, never a stall.
+    """
+    result = run_figure(benchmark, fig4, fig4.Fig4Params.quick_amnesia())
+    phases = {c: result.row_value("3-FT+rejoin", c)
+              for c in ("before_crash1", "between_crashes", "after_crash2")}
+    assert phases["before_crash1"] > 0.9      # healthy start
+    assert phases["between_crashes"] > 0.9    # interim leader took over
+    assert phases["after_crash2"] > 0.9       # restored leader resumed

@@ -14,8 +14,11 @@ after the smoke benchmarks:
 machine-speed factor so heterogeneous CI runners do not trip the gate;
 omit it when comparing runs from the same machine.  Only benchmarks
 matching ``--gate`` (default: the sim-core hot paths and the op-buffer
-ingestion path) can fail the run; noisier suites (e.g. the raw tree
-micro-benches) are compared and reported as informational.
+ingestion path) can fail the run at the tight threshold; ``--gate-wide``
+benchmarks (default: the end-to-end op-buffer overload rig, whose
+wall-clock medians were measured at ~±10% run-to-run before gating it)
+fail only past the looser ``--wide-threshold``; everything else (e.g.
+the raw tree micro-benches) is compared and reported as informational.
 
 Benchmarks present in only one of the two files are reported but do not
 fail the gate (new benchmarks land before their baseline; retired ones
@@ -72,16 +75,23 @@ def speed_factor(baseline: dict[str, float], fresh: dict[str, float]) -> float:
 
 def compare(baseline: dict[str, float], fresh: dict[str, float],
             threshold: float, normalize: bool,
-            gate_pattern: str) -> tuple[list[str], list[str]]:
+            gate_pattern: str, wide_pattern: str = "",
+            wide_threshold: float = 0.5) -> tuple[list[str], list[str]]:
     """Return (failures, report_lines).
 
     Only benchmarks whose fullname matches ``gate_pattern`` (regex search;
-    empty string matches all) can *fail* the gate; everything else is
-    compared and reported as informational.  The speed factor is still
-    computed over every shared benchmark — more samples, steadier estimate.
+    empty string matches all) can *fail* the gate at ``threshold``;
+    ``wide_pattern`` names benchmarks gated at the looser
+    ``wide_threshold`` — end-to-end wall-clock suites whose run-to-run
+    variance (measured ~±10%, >20% peak-to-peak for the overload rig on
+    one otherwise-idle machine) would trip the tight gate on noise alone.
+    Everything else is compared and reported as informational.  The speed
+    factor is still computed over every shared benchmark — more samples,
+    steadier estimate.
     """
     factor = speed_factor(baseline, fresh) if normalize else 1.0
     gate_re = re.compile(gate_pattern) if gate_pattern else None
+    wide_re = re.compile(wide_pattern) if wide_pattern else None
     failures = []
     lines = []
     if normalize:
@@ -98,19 +108,24 @@ def compare(baseline: dict[str, float], fresh: dict[str, float],
             lines.append(f"  MISSING   {name}: in baseline but not in the "
                          "fresh run")
             continue
-        gated = gate_re is None or gate_re.search(name)
+        if gate_re is None or gate_re.search(name):
+            gate_threshold = threshold
+        elif wide_re is not None and wide_re.search(name):
+            gate_threshold = wide_threshold
+        else:
+            gate_threshold = None   # informational only
         ratio = (new / factor) / base if base > 0 else float("inf")
         delta = (ratio - 1.0) * 100
         verdict = "ok"
         if ratio > 1.0 + threshold:
-            if gated:
+            if gate_threshold is not None and ratio > 1.0 + gate_threshold:
                 verdict = "REGRESSED"
                 failures.append(
                     f"{name}: median {base * 1e3:.3f} ms -> "
                     f"{new * 1e3:.3f} ms ({delta:+.1f}% relative, "
-                    f"threshold +{threshold * 100:.0f}%)")
+                    f"threshold +{gate_threshold * 100:.0f}%)")
             else:
-                verdict = "info-slow"   # outside the gate: report, don't fail
+                verdict = "info-slow"   # outside its gate: report, don't fail
         elif ratio < 1.0 - threshold:
             verdict = "improved"
         lines.append(f"  {verdict:<9} {name}: {base * 1e3:.3f} ms -> "
@@ -140,6 +155,17 @@ def main(argv: list[str] | None = None) -> int:
                              "the sim-core hot paths every experiment rides "
                              "on plus the op-buffer ingestion path the "
                              "stabilizers ride on; pass '' to gate all)")
+    parser.add_argument("--gate-wide",
+                        default="bench_opbuffer_backend_overload_rig",
+                        help="regex: benchmarks gated at the wide "
+                             "threshold — the end-to-end overload rig, "
+                             "whose wall-clock medians vary ~±10%% "
+                             "run-to-run (measured before gating it, per "
+                             "the ROADMAP); pass '' to disable")
+    parser.add_argument("--wide-threshold", type=float, default=0.5,
+                        help="max allowed median slowdown for --gate-wide "
+                             "benchmarks (default 0.5 = 50%%, sized to the "
+                             "measured >20%% peak-to-peak runner variance)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="replace the baseline with the fresh run and "
                              "exit 0 (use after intentional perf changes)")
@@ -164,7 +190,9 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_medians(args.baseline)
     fresh = load_medians(args.fresh)
     failures, lines = compare(baseline, fresh, args.threshold,
-                              args.normalize, args.gate)
+                              args.normalize, args.gate,
+                              wide_pattern=args.gate_wide,
+                              wide_threshold=args.wide_threshold)
 
     print(f"bench gate: {len(fresh)} fresh vs {len(baseline)} baseline "
           f"benchmarks (threshold +{args.threshold * 100:.0f}% median)")

@@ -82,6 +82,19 @@ class Calibration:
     eunomia_coord_op_us: float = 0.4
     eunomia_coord_round_us: float = 10.0   # fixed cost per merge/drain round
 
+    # -- durability (WAL + checkpoints, ``durability="wal"``) ------------
+    #: CPU to serialize one accepted op into the log's staging buffer —
+    #: charged on the ingest path next to the buffer insert
+    wal_append_op_us: float = 0.25
+    #: group-commit fsync barrier (disk lane; NVMe-class flush latency)
+    wal_fsync_us: float = 30.0
+    #: per-byte sequential log bandwidth (~1 GB/s), also per fsync'd byte
+    wal_byte_us: float = 0.001
+    #: write + atomically swap one checkpoint (disk lane, per interval)
+    checkpoint_write_us: float = 100.0
+    #: decode + re-apply one WAL record during recovery replay
+    wal_replay_record_us: float = 0.5
+
     # -- partition-side (Riak-like storage nodes) ------------------------
     partition_read_us: float = 150.0
     partition_update_us: float = 400.0

@@ -29,6 +29,8 @@ from .messages import (
     ShardStableBatch,
     ShardStableVector,
     StableAnnounce,
+    StateTransferReply,
+    StateTransferRequest,
 )
 from .partition import EunomiaPartition
 from .tree import CombinedBatch, TreeRelay
@@ -76,4 +78,6 @@ __all__ = [
     "ShardStableBatch",
     "ShardStableVector",
     "StableAnnounce",
+    "StateTransferRequest",
+    "StateTransferReply",
 ]

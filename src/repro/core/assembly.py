@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..calibration import Calibration
+from ..durability import CheckpointStore, RecoveryManager, WriteAheadLog
 from ..metrics.collector import MetricsHub, NullMetrics
+from ..sim.disk import DiskModel
 from ..sim.env import Environment
 from ..sim.process import Process
 from .config import EunomiaConfig
@@ -70,6 +72,8 @@ class StabilizerStack:
     #: K>1 × fault-tolerant: the R replica groups
     groups: list[ShardedReplicaGroup] = field(default_factory=list)
     shard_map: Optional[ShardMap] = None
+    #: durability="wal": the restorer shared by every durable member
+    recovery: Optional["RecoveryManager"] = None
 
     def processes(self) -> list[Process]:
         """Every stabilizer process, in start order (shards before heads)."""
@@ -243,4 +247,23 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
             metrics=metrics, tree_factory=tree_factory,
             stable_mark=stable_mark,
         ))
+
+    if config.durability == "wal":
+        # Durable stacks for all four shapes: every stabilizer that holds
+        # protocol state (shards, Alg. 4 replicas, the plain service) gets
+        # its own WAL + checkpoint store; coordinators hold none (they are
+        # rebuilt from their shards — floors are shipped-capped, so every
+        # queued-but-unshipped op survives in some shard's log).
+        disk = DiskModel.from_calibration(cal)
+        stack.recovery = RecoveryManager(disk)
+        for proc in (*stack.shards, *stack.replicas):
+            proc.attach_durability(
+                WriteAheadLog(f"{proc.name}.wal", disk),
+                CheckpointStore(f"{proc.name}.ckpt"),
+                stack.recovery,
+                append_op_cost=cal.cost("wal_append_op"),
+                checkpoint_cost=cal.overhead("checkpoint_write"),
+            )
+        for group in stack.groups:
+            group.recovery = stack.recovery
     return stack

@@ -79,6 +79,26 @@ class EunomiaConfig:
     #: ``"block"`` (contiguous ranges).  See :class:`~repro.core.shard.ShardMap`.
     shard_policy: str = "stride"
 
+    #: Durability of stabilizer state: ``"none"`` (crash-stop with perfect
+    #: memory — a recovered replica restarts with its protocol state intact)
+    #: or ``"wal"`` — every stabilizer keeps a write-ahead log of accepted
+    #: ops (group-commit fsyncs on a disk lane; fault-tolerant replicas ack
+    #: batches only after the covering flush) plus periodic checkpoints, so
+    #: an *amnesia* crash (``crash(lose_state=True)``) can be recovered by
+    #: checkpoint + log replay and a peer state-transfer rejoin.  See
+    #: :mod:`repro.durability`.
+    durability: str = "none"
+
+    #: Period of the checkpoint/WAL-truncation tick (``durability="wal"``):
+    #: the dial between steady-state checkpoint writes and recovery replay
+    #: length.
+    checkpoint_interval: float = 0.25
+
+    #: How long a rejoining replica waits for a peer's StateTransferReply
+    #: before giving up and re-entering the election on its local
+    #: (checkpoint + WAL) state alone — the no-surviving-peer path.
+    state_transfer_timeout: float = 0.5
+
     #: Unstable-op buffer strategy: ``"runs"`` (per-origin monotone runs,
     #: O(1) ingestion + k-way-merge FIND_STABLE — safe because Alg. 3's
     #: PartitionTime dedup guarantees per-partition monotone inserts),
@@ -108,6 +128,15 @@ class EunomiaConfig:
             raise ValueError("tree fanout must be at least 1")
         if self.n_shards < 1:
             raise ValueError("need at least one Eunomia shard")
+        if self.durability not in ("none", "wal"):
+            raise ValueError(
+                f"unknown durability mode {self.durability!r} "
+                "(expected 'none' or 'wal')"
+            )
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if self.state_transfer_timeout <= 0:
+            raise ValueError("state transfer timeout must be positive")
         if self.shard_policy not in ("stride", "block"):
             raise ValueError(
                 f"unknown shard policy {self.shard_policy!r} "

@@ -22,6 +22,8 @@ __all__ = [
     "PartitionHeartbeat",
     "BatchAck",
     "StableAnnounce",
+    "StateTransferRequest",
+    "StateTransferReply",
     "ShardStableBatch",
     "ShardStableVector",
     "RemoteStableBatch",
@@ -137,6 +139,40 @@ class ReplicaAlive:
 
     replica_id: int
     size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class StateTransferRequest:
+    """Rejoining replica → surviving peers: send me your shipped floors.
+
+    Sent after an amnesia crash once checkpoint + WAL replay has rebuilt
+    local state: before re-entering the Ω election, the rejoiner asks the
+    survivors for the *current* shipped stable floors so it resumes from a
+    correct ``StableTime``/``ShardStableVector`` instead of its stale
+    recovered one (everything between its recovery floor and the survivors'
+    floor has already been delivered remotely and need not be re-shipped).
+    """
+
+    replica_id: int
+    size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class StateTransferReply:
+    """Surviving replica → rejoiner: per-shard shipped stable floors.
+
+    Entry ``k`` is the highest timestamp at or below which shard ``k``'s
+    ops are known shipped to remote datacenters — the same shipped-capped
+    quantity a :class:`ShardStableVector` gossips, so adopting it can never
+    prune an undelivered op.  K=1 replicas use a single-entry vector.
+    """
+
+    replica_id: int
+    stable_times: Tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 16 + 8 * len(self.stable_times)
 
 
 @dataclass(slots=True)

@@ -33,7 +33,12 @@ from ..sim.env import Environment
 from ..sim.process import CostModel, Process
 from .config import EunomiaConfig
 from .election import OmegaElection
-from .messages import ReplicaAlive, StableAnnounce
+from .messages import (
+    ReplicaAlive,
+    StableAnnounce,
+    StateTransferReply,
+    StateTransferRequest,
+)
 from .service import EunomiaService
 
 __all__ = ["EunomiaReplica"]
@@ -73,6 +78,9 @@ class EunomiaReplica(EunomiaService):
             on_change=self._leadership_changed,
         )
         self.leadership_log: list[tuple[float, int]] = []
+        #: True between an amnesia-crash restore and state-transfer
+        #: completion: the replica neither leads nor broadcasts until then
+        self._rejoining = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -84,6 +92,80 @@ class EunomiaReplica(EunomiaService):
 
     def start(self) -> None:
         super().start()
+        if not self._rejoining:
+            self.election.start()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (durability="wal"; see repro.durability)
+    # ------------------------------------------------------------------
+    def rejoin(self) -> None:
+        """Restart after a crash, restoring lost state from the WAL.
+
+        Crash-stop (state intact): equivalent to ``recover() + start()`` —
+        the uplinks' Alg. 4 retransmission backfills what was missed.
+        Amnesia crash (``crash(lose_state=True)``): the
+        :class:`~repro.durability.recovery.RecoveryManager` replays
+        checkpoint + log suffix, then a peer state-transfer round adopts
+        the survivors' shipped StableTime before the replica re-enters the
+        Ω election — so it resumes from a correct floor, not a stale one.
+        """
+        self.recover()
+        if self.state_lost:
+            if self.recovery is None:
+                raise RuntimeError(
+                    f"{self.name}: state was lost in the crash and no "
+                    "durable state is attached — rejoin requires "
+                    "EunomiaConfig(durability='wal')"
+                )
+            self.recovery.restore(self)
+            self._rejoining = True
+        if not self._rejoining:
+            self.start()
+            return
+        # Drive (or re-drive) the state-transfer handshake: a crash that
+        # interrupted an earlier transfer window left _rejoining set and
+        # killed the pending timeout via the epoch bump, so the handshake
+        # must be re-armed here or the replica would never re-enter the
+        # election.
+        self.start()
+        request = StateTransferRequest(self.replica_id)
+        for peer in self.peers:
+            self.send(peer, request)
+        self.after(self.config.state_transfer_timeout,
+                   self._state_transfer_timeout)
+
+    def on_state_transfer_request(self, msg: StateTransferRequest,
+                                  src: Process) -> None:
+        if self._rejoining:
+            return  # both down: neither side has floors worth adopting
+        self.send(src, StateTransferReply(self.replica_id,
+                                          (self.shipped_stable,)))
+
+    def on_state_transfer_reply(self, msg: StateTransferReply,
+                                src: Process) -> None:
+        if not self._rejoining:
+            return
+        floor = msg.stable_times[0]
+        if floor > self.stable_time:
+            self.stable_time = floor
+        if floor > self.shipped_stable:
+            self.shipped_stable = floor
+        # Everything at or below the survivors' shipped floor was delivered
+        # remotely while this replica was down — prune instead of re-ship.
+        self.buffer.drop_stable(self.stable_time)
+        self._complete_rejoin()
+
+    def _state_transfer_timeout(self) -> None:
+        # No surviving peer answered: local (checkpoint + WAL) state is the
+        # best available — rejoin on it; remote dedup absorbs the re-ships.
+        if self._rejoining:
+            self._complete_rejoin()
+
+    def _complete_rejoin(self) -> None:
+        self._rejoining = False
+        # Refresh the failure detector (stale pre-crash sightings would
+        # otherwise linger) and resume ReplicaAlive broadcasts.
+        self.election.set_peers({p.replica_id: p for p in self.peers})
         self.election.start()
 
     # ------------------------------------------------------------------
@@ -92,7 +174,7 @@ class EunomiaReplica(EunomiaService):
     # sharded replica shape)
     # ------------------------------------------------------------------
     def _should_stabilize(self) -> bool:
-        return self.election.is_leader()
+        return not self._rejoining and self.election.is_leader()
 
     def _post_stabilize(self, stable_ts: int, ops: list) -> None:
         # Alg. 4 line 12: tell followers what is stable so they prune.
@@ -110,4 +192,4 @@ class EunomiaReplica(EunomiaService):
 
     def is_leader(self) -> bool:
         """Whether this replica currently believes it leads the group."""
-        return self.election.is_leader()
+        return not self._rejoining and self.election.is_leader()

@@ -105,13 +105,86 @@ class StabilizerBase(Process):
         self.partition_time = [0] * n_partitions
         # An explicit tree_factory (the §6 ablation convention) overrides
         # the configured strategy; otherwise the config picks the backend.
+        self._tree_factory = tree_factory
         self.buffer = OpBuffer(tree_factory, backend=config.buffer_backend)
         self.stable_time = 0
+        #: highest floor known shipped to remote receivers (≤ stable_time;
+        #: the durable-truncation and state-transfer floor)
+        self.shipped_stable = 0
         self.ops_stabilized = 0
+        # Durability (attach_durability wires these when durability="wal").
+        self.wal = None
+        self.checkpoints = None
+        self.recovery = None
+        self._wal_op_cost = 0.0
+        self._checkpoint_cost = 0.0
 
     def start(self) -> None:
         """Arm the periodic PROCESS_STABLE tick (Alg. 3 line 7)."""
         self.after(self.config.stabilization_interval, self._stab_tick)
+        if self.wal is not None:
+            self.periodic(self.config.checkpoint_interval,
+                          self._checkpoint_tick)
+
+    # ------------------------------------------------------------------
+    # Durability (WAL + checkpoints, EunomiaConfig.durability="wal")
+    # ------------------------------------------------------------------
+    def attach_durability(self, wal, checkpoints, recovery,
+                          append_op_cost: float = 0.0,
+                          checkpoint_cost: float = 0.0) -> None:
+        """Wire this stabilizer's durable media (see :mod:`repro.durability`).
+
+        Must happen before :meth:`start` — the checkpoint tick is armed
+        there.  ``append_op_cost`` is charged per accepted op on the ingest
+        path (log-record serialization); flushes and checkpoints ride the
+        ``"disk"`` lane.
+        """
+        self.wal = wal
+        self.checkpoints = checkpoints
+        self.recovery = recovery
+        self._wal_op_cost = append_op_cost
+        self._checkpoint_cost = checkpoint_cost
+
+    def _durable_floor(self) -> int:
+        """The truncation floor: what is known shipped, never the running
+        StableTime (popped-but-unshipped ops must survive in the log)."""
+        return self.shipped_stable
+
+    def _checkpoint_tick(self) -> None:
+        from ..durability.checkpoint import Checkpoint
+
+        checkpoint = Checkpoint(tuple(self.partition_time),
+                                self._durable_floor(), self.now)
+        cost = (self._checkpoint_cost
+                + checkpoint.size_bytes * self.wal.disk.byte_time_s)
+        self._enqueue(lambda: self._write_checkpoint(checkpoint), cost,
+                      lane="disk")
+
+    def _write_checkpoint(self, checkpoint) -> None:
+        # Flush first so the checkpoint never refers past the durable log,
+        # then truncate below the shipped floor the snapshot recorded.
+        self.wal.commit()
+        self.checkpoints.write(checkpoint)
+        self.wal.truncate(checkpoint.floor)
+
+    def _lose_state(self) -> None:
+        """Amnesia crash: protocol state is gone; durable media survive."""
+        self.partition_time = [0] * self.n_partitions
+        self.buffer = OpBuffer(self._tree_factory,
+                               backend=self.config.buffer_backend)
+        self.stable_time = 0
+        self.shipped_stable = 0
+        if self.wal is not None:
+            self.wal.lose_volatile()
+
+    def _adopt_recovery_state(self, partition_time: list, buffer,
+                              floor: int) -> None:
+        """Install state rebuilt by the :class:`RecoveryManager`."""
+        self.partition_time = list(partition_time)
+        self.buffer = buffer
+        self.stable_time = floor
+        self.shipped_stable = floor
+        self.state_lost = False
 
     def _batch_cost_of(self, msg: AddOpBatch) -> float:
         """Batch + per-*new*-op insert cost (duplicates found by bisection)."""
@@ -124,7 +197,8 @@ class StabilizerBase(Process):
                 lo = mid + 1
             else:
                 hi = mid
-        return self.batch_cost + self.insert_op_cost * (len(ops) - lo)
+        return (self.batch_cost
+                + (self.insert_op_cost + self._wal_op_cost) * (len(ops) - lo))
 
     def _combined_cost_of(self, msg) -> float:
         """One message overhead for a whole relay window (§5 tree win)."""
@@ -158,10 +232,15 @@ class StabilizerBase(Process):
             # the sender where to retransmit from.
             self._post_batch(msg, src)
             return
+        wal = self.wal
         for op in msg.ops:
             if op.ts <= pt:
                 continue  # duplicate (at-least-once delivery); skip
             pt = op.ts
+            if wal is not None:
+                # Every accepted (PartitionTime-advancing) op is logged,
+                # buffered or not — replay filters below the recovery floor.
+                wal.stage_op(op.ts, op.partition_index, op.seq, op)
             if op.ts > self.stable_time:
                 self.buffer.add(op.ts, op.partition_index, op.seq, op)
         self.partition_time[index] = pt
@@ -176,11 +255,31 @@ class StabilizerBase(Process):
         contiguous timestamp it now holds for the partition, so the
         uplink's per-replica retransmission window can advance.
         """
+        wal = self.wal
         if not self.config.fault_tolerant:
+            if wal is not None:
+                cost = wal.flush_cost()
+                if cost > 0.0:
+                    self._enqueue(wal.commit, cost, lane="disk")
             return
         ack = BatchAck(msg.partition_index,
                        self.partition_time[msg.partition_index])
-        self._enqueue(lambda: self.send(src, ack), self.ack_cost)
+        if wal is None:
+            self._enqueue(lambda: self.send(src, ack), self.ack_cost)
+            return
+        # Ack-after-fsync: the acknowledgement rides the disk lane behind
+        # the flush covering this batch's records.  The uplink prunes an op
+        # once *every* replica acked it, so an ack for an un-flushed record
+        # would make an amnesia crash lose the op forever — the ack must
+        # imply durability.  (The ack_ts was snapshotted above, so it never
+        # claims more than this flush covers.)
+        cost = wal.flush_cost()
+        self._enqueue(lambda: self._commit_and_ack(src, ack),
+                      cost + self.ack_cost, lane="disk")
+
+    def _commit_and_ack(self, src: Process, ack: BatchAck) -> None:
+        self.wal.commit()
+        self.send(src, ack)
 
     def on_stable_announce(self, msg: StableAnnounce, src: Process) -> None:
         """Follower pruning (Alg. 4 lines 13–15), shared by both shapes.
@@ -192,12 +291,22 @@ class StabilizerBase(Process):
         """
         if msg.stable_ts > self.stable_time:
             self.stable_time = msg.stable_ts
+        if msg.stable_ts > self.shipped_stable:
+            # Announced floors are shipped-capped by construction (the
+            # leader announces after _propagate; shard gossip is capped at
+            # the released StableTime), so they double as durable floors.
+            self.shipped_stable = msg.stable_ts
         self.buffer.drop_stable(self.stable_time)
 
     def on_partition_heartbeat(self, msg: PartitionHeartbeat, src: Process) -> None:
         index = msg.partition_index
         if msg.ts > self.partition_time[index]:
             self.partition_time[index] = msg.ts
+            if self.wal is not None:
+                # Staged only — committed with the next batch flush or
+                # checkpoint.  Losing an unsynced PT advance is safe: the
+                # recovered floor is merely lower and heartbeats re-advance.
+                self.wal.stage_partition_time(index, msg.ts)
 
     # ------------------------------------------------------------------
     # Stabilization (Alg. 3 lines 7–11)
@@ -285,6 +394,8 @@ class EunomiaService(StabilizerBase):
 
     def _propagate(self, stable_ts: int, ops: list) -> None:
         """PROCESS(StableOps): ship the ordered stable run to every site."""
+        if stable_ts > self.shipped_stable:
+            self.shipped_stable = stable_ts
         self.ops_stabilized += len(ops)
         self.metrics.mark_many(self.stable_mark, self.now, len(ops))
         batch = RemoteStableBatch(self.site, tuple(ops))

@@ -91,6 +91,8 @@ from .messages import (
     ShardStableBatch,
     ShardStableVector,
     StableAnnounce,
+    StateTransferReply,
+    StateTransferRequest,
 )
 from .service import StabilizerBase
 
@@ -192,6 +194,25 @@ class EunomiaShard(StabilizerBase):
         times = self.partition_time
         return min(times[p] for p in self.owned)
 
+    def _durable_floor(self) -> int:
+        """WAL-truncation floor: the shard's shipped floor per the gossiped
+        StableAnnounce, or the local coordinator's shipped vector (leader
+        shards receive no gossip — their coordinator *is* the shipper)."""
+        floor = self.shipped_stable
+        shipped = getattr(self.coordinator, "shipped_floors", None)
+        if shipped is not None and shipped[self.shard_id] > floor:
+            floor = shipped[self.shard_id]
+        return floor
+
+    def _lose_state(self) -> None:
+        super()._lose_state()
+        self.announced = 0
+
+    def _adopt_recovery_state(self, partition_time: list, buffer,
+                              floor: int) -> None:
+        super()._adopt_recovery_state(partition_time, buffer, floor)
+        self.announced = floor
+
     # ------------------------------------------------------------------
     # Algorithm 4 behaviour (replicated deployments only; NEW_BATCH acks
     # and follower pruning are inherited from StabilizerBase._post_batch /
@@ -249,6 +270,8 @@ class ShardCoordinator(Process):
         self._queues: list[deque] = [deque() for _ in range(n_shards)]
         self.destinations: list[Process] = []
         self.stable_time = 0
+        #: per-shard floors of the last run actually shipped (≤ stable_time)
+        self.shipped_floors = [0] * n_shards
         self.ops_stabilized = 0
         self.merge_rounds = 0
         self.stable_mark = stable_mark or f"eunomia_stable:dc{site}"
@@ -306,12 +329,31 @@ class ShardCoordinator(Process):
         self._enqueue(lambda: self._propagate(ops, floors), cost)
 
     def _prune_floors(self):
-        """Hook: the replicated coordinator snapshots gossip floors here."""
-        return None
+        """Per-shard floors this release covers: each shard's announced
+        floor capped at the released global StableTime.  A shard's own
+        floor may run ahead while its popped ops sit unshipped in this
+        coordinator's merge queues; the cap is what keeps follower pruning
+        and WAL truncation from destroying exactly those ops."""
+        released = self.stable_time
+        return tuple(min(s, released) for s in self.shard_stable)
+
+    def _lose_state(self) -> None:
+        """Amnesia crash: the coordinator is rebuilt from its shards —
+        every queued-but-unshipped op is still in some replica's shard
+        buffer/WAL (floors are shipped-capped), so nothing here is durable."""
+        self.shard_stable = [0] * self.n_shards
+        self._queues = [deque() for _ in range(self.n_shards)]
+        self.stable_time = 0
+        self.shipped_floors = [0] * self.n_shards
 
     def _propagate(self, ops: list, floors=None) -> None:
         """Ship one merged stable run to every remote site."""
         self.merge_rounds += 1
+        if floors is not None:
+            shipped = self.shipped_floors
+            for k, floor in enumerate(floors):
+                if floor > shipped[k]:
+                    shipped[k] = floor
         self.ops_stabilized += len(ops)
         self.metrics.mark_many(self.stable_mark, self.now, len(ops))
         batch = RemoteStableBatch(self.site, tuple(ops))
@@ -365,6 +407,9 @@ class ReplicatedShardCoordinator(ShardCoordinator):
             on_change=self._leadership_changed,
         )
         self.leadership_log: list[tuple[float, int]] = []
+        #: True between an amnesia-crash restore and state-transfer
+        #: completion: the group neither leads nor broadcasts until then
+        self._rejoining = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -380,20 +425,74 @@ class ReplicatedShardCoordinator(ShardCoordinator):
 
     def start(self) -> None:
         super().start()
+        if not self._rejoining:
+            self.election.start()
+
+    # ------------------------------------------------------------------
+    # Crash recovery: peer state transfer (durability="wal")
+    # ------------------------------------------------------------------
+    def begin_rejoin(self) -> None:
+        """Enter rejoin mode *before* :meth:`start`: the coordinator will
+        neither claim leadership nor broadcast ReplicaAlive until the state
+        transfer completes (or times out with no surviving peer)."""
+        self._rejoining = True
+
+    def request_state_transfer(self) -> None:
+        """Ask surviving peers for their current shipped floors."""
+        request = StateTransferRequest(self.replica_id)
+        for peer in self.peers:
+            self.send(peer, request)
+        self.after(self.config.state_transfer_timeout,
+                   self._state_transfer_timeout)
+
+    def on_state_transfer_request(self, msg: StateTransferRequest,
+                                  src: Process) -> None:
+        if self._rejoining:
+            return  # both down: neither side has floors worth adopting
+        self.send(src, StateTransferReply(self.replica_id,
+                                          tuple(self.shipped_floors)))
+
+    def on_state_transfer_reply(self, msg: StateTransferReply,
+                                src: Process) -> None:
+        if not self._rejoining:
+            return
+        # Adopt the survivors' shipped floors: everything at or below them
+        # was delivered remotely while this group was down, so the restored
+        # shards prune there instead of re-shipping the whole outage window.
+        self._apply_floors(msg.stable_times)
+        self._complete_rejoin()
+
+    def _state_transfer_timeout(self) -> None:
+        # No surviving peer answered: the local (checkpoint + WAL) floors
+        # are the best available; remote dedup absorbs the re-ships.
+        if self._rejoining:
+            self._complete_rejoin()
+
+    def _complete_rejoin(self) -> None:
+        self._rejoining = False
+        self.state_lost = False
+        # Refresh the failure detector (stale pre-crash sightings would
+        # otherwise linger) and resume ReplicaAlive broadcasts.
+        self.election.set_peers({p.replica_id: p for p in self.peers})
         self.election.start()
+
+    def _apply_floors(self, floors) -> None:
+        shipped = self.shipped_floors
+        for k, floor in enumerate(floors):
+            if floor > shipped[k]:
+                shipped[k] = floor
+        released = min(floors)
+        if released > self.stable_time:
+            self.stable_time = released
+        for k, queue in enumerate(self._queues):
+            while queue and queue[0].ts <= floors[k]:
+                queue.popleft()
+        for shard in self.local_shards:
+            self.send(shard, StableAnnounce(floors[shard.shard_id]))
 
     # ------------------------------------------------------------------
     # Algorithm 4 behaviour
     # ------------------------------------------------------------------
-    def _prune_floors(self):
-        # Snapshot at drain time: the floors this *particular* release
-        # covers.  Entries are capped at the global released StableTime —
-        # a shard's own floor may run ahead while its popped ops sit
-        # unshipped in this coordinator's merge queues, and those must
-        # survive on followers if this replica dies now.
-        released = self.stable_time
-        return tuple(min(s, released) for s in self.shard_stable)
-
     def _post_propagate(self, ops: list, floors) -> None:
         # Alg. 4 line 12, vectorized: tell follower replicas what is now
         # shipped so their shards prune.
@@ -407,21 +506,15 @@ class ReplicatedShardCoordinator(ShardCoordinator):
                                src: Process) -> None:
         # Follower side: fan the per-shard floors out to the local shards.
         # Applying gossip is safe regardless of who believes they lead —
-        # every floor names only remotely shipped ops (see the cap above).
-        floor = min(msg.stable_times)
-        if floor > self.stable_time:
-            self.stable_time = floor
-        # A deposed leader may still hold popped-but-unreleased ops in its
-        # merge queues; everything at or below the gossiped floors has now
-        # been shipped by the current leader, so drop it here too (it
-        # would otherwise be re-released — harmless but wasteful — if
-        # this replica leads again).
-        for k, queue in enumerate(self._queues):
-            shipped = msg.stable_times[k]
-            while queue and queue[0].ts <= shipped:
-                queue.popleft()
-        for shard in self.local_shards:
-            self.send(shard, StableAnnounce(msg.stable_times[shard.shard_id]))
+        # every floor names only remotely shipped ops (see the cap in
+        # _prune_floors).  A deposed leader may still hold popped-but-
+        # unreleased ops in its merge queues; everything at or below the
+        # gossiped floors has now been shipped by the current leader, so
+        # _apply_floors drops it here too (it would otherwise be
+        # re-released — harmless but wasteful — if this replica leads
+        # again).  Tracking the floors also gives followers the durable
+        # truncation/state-transfer baseline (shipped_floors).
+        self._apply_floors(msg.stable_times)
 
     def on_replica_alive(self, msg: ReplicaAlive, src: Process) -> None:
         self.election.on_alive(msg)
@@ -431,7 +524,7 @@ class ReplicatedShardCoordinator(ShardCoordinator):
 
     def is_leader(self) -> bool:
         """Whether this coordinator currently believes it leads the group."""
-        return self.election.is_leader()
+        return not self._rejoining and self.election.is_leader()
 
 
 class ShardedReplicaGroup:
@@ -449,6 +542,8 @@ class ShardedReplicaGroup:
         self.replica_id = replica_id
         self.coordinator = coordinator
         self.shards = list(shards)
+        #: durable-state restorer (set by the assembly when durability="wal")
+        self.recovery = None
 
     @property
     def name(self) -> str:
@@ -478,10 +573,16 @@ class ShardedReplicaGroup:
         for proc in self.processes():
             proc.start()
 
-    def crash(self) -> None:
-        """Crash-stop the whole replica: every shard and the coordinator."""
+    def crash(self, lose_state: bool = False) -> None:
+        """Crash-stop the whole replica: every shard and the coordinator.
+
+        ``lose_state=True`` is an amnesia crash: the members' protocol
+        state (unstable buffers, PartitionTime, merge queues, floors) is
+        wiped too; only durable media (WALs, checkpoints) survive, so
+        :meth:`recover` then needs ``durability="wal"``.
+        """
         for proc in self.processes():
-            proc.crash()
+            proc.crash(lose_state=lose_state)
 
     def recover(self) -> None:
         """Restart every member after a crash.
@@ -489,14 +590,78 @@ class ShardedReplicaGroup:
         ``Process.recover`` alone would leave a zombie — the crash's epoch
         bump permanently kills the epoch-guarded stabilization ticks and
         election broadcasts armed at start-up — so each member is started
-        again.  Protocol state survives (crash-stop, not reset): the
-        uplinks' Alg. 4 retransmission backfills everything missed while
-        down, and anything the rejoining replica re-ships from its stale
+        again.  After a crash-stop, protocol state survives: the uplinks'
+        Alg. 4 retransmission backfills everything missed while down, and
+        anything the rejoining replica re-ships from its stale
         ``StableTime`` is deduplicated by remote receivers.
+
+        After an *amnesia* crash (``crash(lose_state=True)``) the members
+        are rebuilt from their WALs and checkpoints first, and the
+        coordinator runs a peer state-transfer round — adopting the
+        survivors' shipped floors — before re-entering the Ω election
+        (see :mod:`repro.durability`).
         """
+        if self.coordinator.state_lost:
+            self._rejoin_with_state_loss()
+            return
         for proc in self.processes():
             proc.recover()
             proc.start()
+
+    def _rejoin_with_state_loss(self) -> None:
+        if self.recovery is None:
+            raise RuntimeError(
+                f"{self.name}: state was lost in the crash and no durable "
+                "state is attached — rejoin requires "
+                "EunomiaConfig(durability='wal')"
+            )
+        for shard in self.shards:
+            shard.recover()
+            self.recovery.restore(shard)
+            shard.start()
+        coordinator = self.coordinator
+        coordinator.recover()
+        coordinator.begin_rejoin()     # no leadership/broadcast until caught up
+        coordinator.start()
+        coordinator.request_state_transfer()
+
+    def rejoin(self) -> None:
+        """Alias of :meth:`recover` — naming symmetry with
+        :meth:`repro.core.replica.EunomiaReplica.rejoin`, so drills and
+        figures can treat both crash-unit kinds uniformly."""
+        self.recover()
+
+    # ------------------------------------------------------------------
+    # Partial-group failures: one shard, not the whole pipeline
+    # ------------------------------------------------------------------
+    def crash_shard(self, shard_id: int, lose_state: bool = False) -> None:
+        """Crash a single member shard; the coordinator stays up.
+
+        No failover follows — the Ω election watches coordinators — so the
+        site's stable output stalls at the dead shard's last announced
+        floor (``min(ShardStableTime)`` stops moving) until the shard
+        rejoins and the uplinks' retransmission backfills it.
+        """
+        self.shards[shard_id].crash(lose_state=lose_state)
+
+    def recover_shard(self, shard_id: int) -> None:
+        """Rejoin one crashed shard (durable restore after an amnesia
+        crash).  The live local coordinator's shipped floors raise the
+        recovery floor past the shard's own checkpoint, so the restored
+        buffer skips ops that are provably delivered."""
+        shard = self.shards[shard_id]
+        shard.recover()
+        if shard.state_lost:
+            if self.recovery is None:
+                raise RuntimeError(
+                    f"{shard.name}: state was lost in the crash and no "
+                    "durable state is attached — rejoin requires "
+                    "EunomiaConfig(durability='wal')"
+                )
+            self.recovery.restore(
+                shard,
+                extra_floor=self.coordinator.shipped_floors[shard_id])
+        shard.start()
 
     def is_leader(self) -> bool:
         return self.coordinator.is_leader()

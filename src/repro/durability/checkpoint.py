@@ -1,0 +1,63 @@
+"""Periodic checkpoints of stabilizer state.
+
+A checkpoint is the compaction point of the write-ahead log: a snapshot of
+``PartitionTime`` plus the *shipped* stable floor, taken every
+``EunomiaConfig.checkpoint_interval`` seconds.  Recovery starts from the
+latest checkpoint and replays only the log suffix, and the log is truncated
+below the checkpoint's floor — so the checkpoint interval is the dial
+between steady-state write amplification (frequent checkpoints) and
+recovery/replay length (rare ones).
+
+The floor deliberately records what has been **shipped to remote
+datacenters**, not the stabilizer's own running ``StableTime``: a leader's
+floor runs ahead of the shipped stream while popped ops sit in merge queues
+or in a not-yet-executed propagate slot, and checkpointing that optimistic
+floor would let truncation destroy exactly the ops a crash loses.  This is
+the same cap that makes the live failover argument go through
+(:class:`repro.core.messages.ShardStableVector`), applied to the durable
+state — see ``docs/ARCHITECTURE.md``.
+
+The store keeps only the latest checkpoint (the simulated analogue of
+atomically replacing a checkpoint file); like the WAL's durable records it
+survives ``crash(lose_state=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+#: Framing bytes per checkpoint beyond the PartitionTime vector.
+_CHECKPOINT_OVERHEAD_BYTES = 32
+
+
+@dataclass(slots=True, frozen=True)
+class Checkpoint:
+    """One durable snapshot of a stabilizer's recoverable state."""
+
+    partition_time: Tuple[int, ...]
+    #: shipped stable floor at snapshot time (log truncated at or below it)
+    floor: int
+    taken_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self.partition_time) + _CHECKPOINT_OVERHEAD_BYTES
+
+
+class CheckpointStore:
+    """Latest-checkpoint store for one stabilizer (durable medium)."""
+
+    __slots__ = ("name", "latest", "writes")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.latest: Optional[Checkpoint] = None
+        self.writes = 0
+
+    def write(self, checkpoint: Checkpoint) -> None:
+        """Atomically replace the latest checkpoint."""
+        self.latest = checkpoint
+        self.writes += 1

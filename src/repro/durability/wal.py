@@ -1,0 +1,167 @@
+"""Simulated write-ahead log with group-commit fsync semantics.
+
+The log is the durable medium of one stabilizer process (a shard, an
+Algorithm 4 replica, or the plain service): it outlives
+``Process.crash(lose_state=True)`` while the process's protocol state does
+not.  Two-phase writes keep the failure model honest:
+
+* :meth:`WriteAheadLog.stage_op` / :meth:`stage_partition_time` append to a
+  **volatile** buffer — the in-memory log tail a real implementation holds
+  between fsyncs.  An amnesia crash calls :meth:`lose_volatile` and those
+  records are gone, exactly like unsynced page-cache contents.
+* :meth:`commit` moves everything staged into the **durable** record list.
+  The caller charges :meth:`flush_cost` on its ``"disk"`` lane first (fixed
+  fsync latency + bytes since the last scheduled flush, the group-commit
+  shape from :class:`repro.sim.disk.DiskModel`), and — in fault-tolerant
+  deployments — sends the batch acknowledgement only *after* the commit, so
+  an acked op is always recoverable (the uplink prunes acked prefixes; an
+  ack for a lost record would lose the op forever).
+
+Record kinds:
+
+* ``(OP_RECORD, ts, origin, seq, op)`` — one accepted operation; replay
+  rebuilds the unstable buffer from these (per-origin monotone by
+  construction, so the :class:`repro.datastruct.runbuffer.RunBuffer`
+  contract holds on replay too);
+* ``(PT_RECORD, partition_index, ts, None, None)`` — a heartbeat-driven
+  PartitionTime advance; replay folds these into the restored vector.
+  Losing an unsynced PT record is safe (the floor recomputes lower and new
+  heartbeats re-advance it), so heartbeats never force a flush of their own.
+
+:meth:`truncate` drops op records at or below the shipped stable floor and
+all PT records (the checkpoint's PartitionTime snapshot supersedes them);
+it runs at checkpoint time and is what bounds replay length.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.disk import DiskModel
+
+__all__ = ["WriteAheadLog", "OP_RECORD", "PT_RECORD"]
+
+#: Record tags (first tuple slot).
+OP_RECORD = 0
+PT_RECORD = 1
+
+#: Framing bytes per record beyond the op's own metadata footprint.
+_RECORD_OVERHEAD_BYTES = 16
+_PT_RECORD_BYTES = 24
+
+
+class WriteAheadLog:
+    """Durable record list + volatile staging buffer for one stabilizer."""
+
+    __slots__ = ("name", "disk", "records", "_staged", "_staged_bytes",
+                 "_scheduled_bytes", "appends", "commits", "bytes_durable",
+                 "records_truncated")
+
+    def __init__(self, name: str, disk: Optional[DiskModel] = None):
+        self.name = name
+        self.disk = disk or DiskModel()
+        #: durable records, in acceptance order (survives amnesia crashes)
+        self.records: list[tuple] = []
+        self._staged: list[tuple] = []      # volatile: lost on amnesia crash
+        self._staged_bytes = 0
+        self._scheduled_bytes = 0           # staged bytes a flush already covers
+        self.appends = 0
+        self.commits = 0
+        self.bytes_durable = 0
+        self.records_truncated = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def staged(self) -> int:
+        """Volatile records awaiting a commit (0 after every flush)."""
+        return len(self._staged)
+
+    # ------------------------------------------------------------------
+    # Staging (volatile)
+    # ------------------------------------------------------------------
+    def stage_op(self, ts: int, origin: int, seq: int, op: Any) -> None:
+        """Stage one accepted operation record."""
+        self._staged.append((OP_RECORD, ts, origin, seq, op))
+        size = getattr(op, "metadata_bytes", 0) + _RECORD_OVERHEAD_BYTES
+        self._staged_bytes += size
+        self.appends += 1
+
+    def stage_partition_time(self, partition_index: int, ts: int) -> None:
+        """Stage a heartbeat-driven PartitionTime advance."""
+        self._staged.append((PT_RECORD, partition_index, ts, None, None))
+        self._staged_bytes += _PT_RECORD_BYTES
+        self.appends += 1
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+    def flush_cost(self) -> float:
+        """Disk-lane cost of the next flush; marks staged bytes scheduled.
+
+        Each call charges only the bytes staged since the previous call, so
+        back-to-back batches each pay one fsync barrier over their own delta
+        (a slightly conservative group commit: an ideal implementation would
+        coalesce barriers queued behind a busy device).
+        """
+        delta = self._staged_bytes - self._scheduled_bytes
+        if delta <= 0:
+            return 0.0
+        self._scheduled_bytes = self._staged_bytes
+        return self.disk.fsync_cost(delta)
+
+    def commit(self) -> int:
+        """Make everything staged durable; returns the record count moved."""
+        moved = len(self._staged)
+        if moved:
+            self.records.extend(self._staged)
+            self._staged.clear()
+            self.bytes_durable += self._staged_bytes
+            self._staged_bytes = 0
+            self._scheduled_bytes = 0
+            self.commits += 1
+        return moved
+
+    def lose_volatile(self) -> None:
+        """Amnesia crash: drop everything not yet committed."""
+        self._staged.clear()
+        self._staged_bytes = 0
+        self._scheduled_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Truncation + replay
+    # ------------------------------------------------------------------
+    def truncate(self, floor_ts: int) -> int:
+        """Drop op records with ``ts <= floor_ts`` and every PT record.
+
+        Called at checkpoint time: the checkpoint's PartitionTime snapshot
+        supersedes PT records, and ops at or below the *shipped* stable
+        floor were delivered remotely — nothing below the floor is ever
+        needed again.  Returns the number of records dropped.
+        """
+        kept = [r for r in self.records
+                if r[0] == OP_RECORD and r[1] > floor_ts]
+        dropped = len(self.records) - len(kept)
+        self.records = kept
+        self.records_truncated += dropped
+        return dropped
+
+    def replay(self, partition_time: list[int], floor_ts: int) -> list[tuple]:
+        """Fold durable records into ``partition_time`` (mutated in place);
+        return the op entries above ``floor_ts`` as ``(ts, origin, seq, op)``
+        tuples in acceptance order (per-origin monotone)."""
+        ops = []
+        for record in self.records:
+            tag, a, b = record[0], record[1], record[2]
+            if tag == OP_RECORD:
+                # a=ts, b=origin
+                if a > partition_time[b]:
+                    partition_time[b] = a
+                if a > floor_ts:
+                    ops.append((a, b, record[3], record[4]))
+            else:
+                # a=partition_index, b=ts
+                if b > partition_time[a]:
+                    partition_time[a] = b
+        return ops

@@ -13,6 +13,15 @@ With ``n_shards > 1`` the same schedule crashes whole
 :class:`~repro.core.shard.ShardedReplicaGroup` pipelines (Alg. 4 × K):
 the expected shape is identical, which is the point — replicating the
 sharded stabilizer buys the paper's failover story at K-shard throughput.
+
+The **amnesia → rejoin** variant (``rejoin_at`` set, beyond the paper)
+replaces the second crash with a recovery: the leader crashed at t₁ *loses
+its state* (``crash(lose_state=True)``) and rejoins at t₂ via the
+durability subsystem — checkpoint + WAL replay, then peer state transfer —
+reclaiming leadership (lowest id).  Expected shape: the t₁ failover dip,
+full throughput under the interim leader, a second (small) dip at the
+rejoin handover, then full throughput under the restored leader.  Requires
+``durability="wal"``.
 """
 
 from __future__ import annotations
@@ -43,6 +52,13 @@ class Fig4Params:
     window: float = 1.5
     batch_interval: float = 0.005   # coarser ticks keep the event count sane
     seed: int = 41
+    #: durability mode threaded into every rig (the amnesia timeline
+    #: requires "wal"; "none" reproduces the paper's crash-stop figure)
+    durability: str = "none"
+    #: when set, the t₁ crash is an amnesia crash (state lost) and the
+    #: crashed unit *rejoins* at this time instead of a successor dying
+    #: at ``crash2``
+    rejoin_at: Optional[float] = None
 
     @classmethod
     def quick(cls) -> "Fig4Params":
@@ -56,6 +72,16 @@ class Fig4Params:
         quick.n_shards = 2
         return quick
 
+    @classmethod
+    def quick_amnesia(cls) -> "Fig4Params":
+        """Crash → amnesia → rejoin for K=2-sharded 3-replica groups."""
+        quick = cls.quick()
+        quick.n_shards = 2
+        quick.replica_counts = (3,)
+        quick.durability = "wal"
+        quick.rejoin_at = 15.0
+        return quick
+
 
 def _phase_mean(timeline, start: float, end: float) -> float:
     return mean([rate for t, rate in timeline if start <= t < end])
@@ -63,6 +89,12 @@ def _phase_mean(timeline, start: float, end: float) -> float:
 
 def run(params: Optional[Fig4Params] = None) -> FigureResult:
     p = params or Fig4Params()
+    if p.rejoin_at is not None and p.durability != "wal":
+        # Fail fast: scheduling rejoin() after an amnesia crash without a
+        # WAL would raise mid-simulation, 12 seconds in.
+        raise ValueError(
+            "the amnesia->rejoin timeline (rejoin_at) requires "
+            "durability='wal'")
     cal = Calibration()
     result = FigureResult(
         "Figure 4", "Impact of replica failures (normalized throughput)",
@@ -73,7 +105,8 @@ def run(params: Optional[Fig4Params] = None) -> FigureResult:
         return EunomiaConfig(fault_tolerant=ft, n_replicas=replicas,
                              n_shards=p.n_shards,
                              batch_interval=p.batch_interval,
-                             heartbeat_interval=p.batch_interval)
+                             heartbeat_interval=p.batch_interval,
+                             durability=p.durability)
 
     base_rig = build_eunomia_rig(p.n_partitions,
                                  config=make_config(False, 1),
@@ -92,24 +125,47 @@ def run(params: Optional[Fig4Params] = None) -> FigureResult:
         # K=1, whole ShardedReplicaGroups (K shards + coordinator) when
         # the stabilizer is sharded.
         groups = rig.groups
-        rig.env.loop.schedule_at(p.crash1, groups[0].crash)
-        if replicas >= 2:
-            rig.env.loop.schedule_at(p.crash2, groups[1].crash)
+        if p.rejoin_at is not None:
+            # Amnesia timeline: the leader loses its state at t1 and
+            # rejoins at t2 through the WAL/checkpoint/state-transfer path
+            # (a ShardedReplicaGroup or an Alg. 4 replica — both expose
+            # crash(lose_state=True) and rejoin()).
+            target = groups[0]
+            rig.env.loop.schedule_at(
+                p.crash1, lambda t=target: t.crash(lose_state=True))
+            rig.env.loop.schedule_at(p.rejoin_at, target.rejoin)
+            t2 = p.rejoin_at
+        else:
+            rig.env.loop.schedule_at(p.crash1, groups[0].crash)
+            if replicas >= 2:
+                rig.env.loop.schedule_at(p.crash2, groups[1].crash)
+            t2 = p.crash2
         rig.run(p.duration)
 
+        variant = (f"{replicas}-FT+rejoin" if p.rejoin_at is not None
+                   else f"{replicas}-FT")
         timeline = [(t, rate / base_rate)
                     for t, rate in rig.throughput_timeline(p.window)]
-        result.add_series(f"{replicas}-FT", timeline)
+        result.add_series(variant, timeline)
         result.add_row(
-            f"{replicas}-FT",
+            variant,
             _phase_mean(timeline, 0.0, p.crash1),
-            _phase_mean(timeline, p.crash1 + 3.0, p.crash2),
-            _phase_mean(timeline, p.crash2 + 3.0, p.duration),
+            _phase_mean(timeline, p.crash1 + 3.0, t2),
+            _phase_mean(timeline, t2 + 3.0, p.duration),
         )
 
-    result.note(f"leader crash at t={p.crash1}s, successor crash at "
-                f"t={p.crash2}s; suspicion timeout "
-                f"{EunomiaConfig().replica_suspect_timeout}s")
-    result.note("paper shape: 1-FT dies at t1; 2-FT dies at t2; 3-FT "
-                "recovers to ~95-100% after each failover dip")
+    if p.rejoin_at is not None:
+        result.note(f"amnesia crash of the leader at t={p.crash1}s "
+                    f"(state lost, durability={p.durability!r}), rejoin at "
+                    f"t={p.rejoin_at}s via WAL replay + state transfer; "
+                    "after_crash2 column = after the rejoin handover")
+        result.note("expected shape: failover dip at t1, interim leader at "
+                    "~full throughput, small handover dip at rejoin, then "
+                    "the restored leader at ~full throughput")
+    else:
+        result.note(f"leader crash at t={p.crash1}s, successor crash at "
+                    f"t={p.crash2}s; suspicion timeout "
+                    f"{EunomiaConfig().replica_suspect_timeout}s")
+        result.note("paper shape: 1-FT dies at t1; 2-FT dies at t2; 3-FT "
+                    "recovers to ~95-100% after each failover dip")
     return result

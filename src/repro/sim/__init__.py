@@ -14,6 +14,7 @@ discrete-event simulator with
 * named, reproducible RNG streams (:mod:`repro.sim.rng`).
 """
 
+from .disk import DiskModel
 from .env import Environment
 from .failure import FailureSchedule, Straggler
 from .latency import (
@@ -30,6 +31,7 @@ from .process import CostModel, PeriodicTask, Process
 from .rng import RngRegistry
 
 __all__ = [
+    "DiskModel",
     "Environment",
     "Event",
     "EventLoop",

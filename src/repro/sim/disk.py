@@ -1,0 +1,52 @@
+"""Disk latency model for durable state (write-ahead logs, checkpoints).
+
+The simulator charges CPU through per-process service lanes
+(:mod:`repro.sim.process`); durable writes need the same treatment for the
+*storage* device, or an fsync would be free and durability would look like a
+no-cost switch.  :class:`DiskModel` is the shared cost model: an fsync pays a
+fixed device latency (the flush barrier) plus a sequential-bandwidth term for
+the bytes written since the last flush — the classic group-commit shape,
+where many staged records share one barrier.  Recovery replay pays a small
+per-record cost (decode + re-apply), which is what makes long un-truncated
+logs *visibly* expensive to restart from and checkpoint truncation worth its
+write cost.
+
+Processes charge these costs on a dedicated ``"disk"`` lane, so log flushes
+contend with each other (one device) but not with protocol CPU — matching a
+real deployment where the WAL lives on its own NVMe queue and only the
+*acknowledgement* of a batch waits for the fsync, not the ingest path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DiskModel"]
+
+
+class DiskModel:
+    """Fsync/replay cost model, in seconds (one device per process)."""
+
+    __slots__ = ("fsync_latency_s", "byte_time_s", "replay_record_s")
+
+    def __init__(self, fsync_latency_s: float = 30e-6,
+                 byte_time_s: float = 1e-9,
+                 replay_record_s: float = 0.5e-6):
+        self.fsync_latency_s = fsync_latency_s
+        self.byte_time_s = byte_time_s
+        self.replay_record_s = replay_record_s
+
+    @classmethod
+    def from_calibration(cls, cal) -> "DiskModel":
+        """Build from :class:`repro.calibration.Calibration` overheads."""
+        return cls(
+            fsync_latency_s=cal.overhead("wal_fsync"),
+            byte_time_s=cal.overhead("wal_byte"),
+            replay_record_s=cal.overhead("wal_replay_record"),
+        )
+
+    def fsync_cost(self, n_bytes: int) -> float:
+        """One flush barrier covering ``n_bytes`` of staged log records."""
+        return self.fsync_latency_s + n_bytes * self.byte_time_s
+
+    def replay_cost(self, n_records: int) -> float:
+        """Sequential re-read + re-apply of ``n_records`` log records."""
+        return n_records * self.replay_record_s

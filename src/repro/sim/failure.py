@@ -38,13 +38,46 @@ class FailureSchedule:
         self._actions: list[_Action] = []
         self.log: list[tuple[float, str]] = []
 
-    def crash_at(self, time: float, process: Process) -> "FailureSchedule":
-        """Crash-stop ``process`` at absolute simulation time ``time``."""
-        return self.at(time, process.crash, f"crash {process.name}")
+    def crash_at(self, time: float, process: Process,
+                 lose_state: bool = False) -> "FailureSchedule":
+        """Crash-stop ``process`` at absolute simulation time ``time``.
+
+        ``lose_state=True`` makes it an amnesia crash: volatile protocol
+        state is wiped and only durable media (WAL, checkpoints) survive.
+        """
+        label = ("amnesia-crash " if lose_state else "crash ") + process.name
+        return self.at(time, lambda: process.crash(lose_state=lose_state),
+                       label)
 
     def recover_at(self, time: float, process: Process) -> "FailureSchedule":
         """Recover ``process`` at absolute simulation time ``time``."""
         return self.at(time, process.recover, f"recover {process.name}")
+
+    # ------------------------------------------------------------------
+    # Partial-group failures: one shard of a sharded replica group
+    # ------------------------------------------------------------------
+    def crash_shard_at(self, time: float, group, shard_id: int,
+                       lose_state: bool = False) -> "FailureSchedule":
+        """Crash one :class:`~repro.core.shard.EunomiaShard` of ``group``.
+
+        A partial-group failure: the group's coordinator stays up, so no
+        failover is triggered — the dead shard simply stops announcing its
+        ShardStableTime and the coordinator's ``min(shards)`` (and with it
+        the whole site's stable output) stalls until the shard rejoins.
+        """
+        label = (("amnesia-crash " if lose_state else "crash ")
+                 + f"{group.name} shard {shard_id}")
+        return self.at(time,
+                       lambda: group.crash_shard(shard_id,
+                                                 lose_state=lose_state),
+                       label)
+
+    def recover_shard_at(self, time: float, group,
+                         shard_id: int) -> "FailureSchedule":
+        """Rejoin one crashed shard of ``group`` (durable restore if the
+        crash was an amnesia crash)."""
+        return self.at(time, lambda: group.recover_shard(shard_id),
+                       f"recover {group.name} shard {shard_id}")
 
     def at(self, time: float, fn: Callable[[], Any], label: str = "") -> "FailureSchedule":
         """Run an arbitrary action at ``time`` (builder style, returns self)."""

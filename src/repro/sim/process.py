@@ -98,6 +98,7 @@ class Process:
         self.pid = env.allocate_pid()
         self.cost_model = cost_model or CostModel()
         self.crashed = False
+        self.state_lost = False   # set by an amnesia crash, cleared on restore
         self._epoch = 0           # bumped on crash; stale callbacks are dropped
         self._lane_busy: dict[str, float] = {}   # lane -> end of last slot
         self._handler_cache: dict[type, Callable] = {}
@@ -193,10 +194,29 @@ class Process:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def crash(self) -> None:
-        """Crash-stop: drop queued work and ignore deliveries until recovery."""
+    def crash(self, lose_state: bool = False) -> None:
+        """Crash-stop: drop queued work and ignore deliveries until recovery.
+
+        With ``lose_state=True`` this is an *amnesia* crash: the process's
+        volatile protocol state is discarded too (via the
+        :meth:`_lose_state` hook), modelling a machine whose memory is gone.
+        Only state held in durable media (e.g. a
+        :class:`repro.durability.wal.WriteAheadLog`) survives; recovery then
+        requires an explicit restore path, not just :meth:`recover`.
+        """
         self.crashed = True
         self._epoch += 1
+        if lose_state:
+            self.state_lost = True
+            self._lose_state()
+
+    def _lose_state(self) -> None:
+        """Hook: discard volatile protocol state (amnesia crash).
+
+        Subclasses with protocol state override this; durable media owned by
+        the process (WALs, checkpoint stores) must survive untouched apart
+        from dropping their own volatile staging buffers.
+        """
 
     def recover(self) -> None:
         """Restart the process with an empty service queue.

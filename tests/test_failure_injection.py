@@ -23,6 +23,28 @@ def test_schedule_crash_and_recover(env, net):
     assert [label for _, label in schedule.log] == ["crash d", "recover d"]
 
 
+def test_schedule_amnesia_crash_wipes_state(env, net):
+    class Stateful(Dummy):
+        def __init__(self, e):
+            super().__init__(e, "s")
+            self.counter = 7
+
+        def _lose_state(self):
+            self.counter = 0
+
+    proc = Stateful(env)
+    schedule = FailureSchedule(env)
+    schedule.crash_at(1.0, proc, lose_state=True).recover_at(2.0, proc)
+    schedule.arm()
+    env.run(until=1.5)
+    assert proc.crashed and proc.state_lost and proc.counter == 0
+    env.run(until=2.5)
+    assert not proc.crashed
+    assert proc.state_lost          # recover alone never restores state
+    assert [label for _, label in schedule.log] == \
+        ["amnesia-crash s", "recover s"]
+
+
 def test_schedule_custom_action(env):
     hits = []
     schedule = FailureSchedule(env)

@@ -652,6 +652,55 @@ class TestShardedEndToEnd:
                            for p in other.partitions)
             assert dc.receiver.applied == expected
 
+    def test_gossip_loss_path_fires_dedup_end_to_end(self):
+        """ShardStableVector gossip under intra-site message loss.
+
+        The per-origin dedup at remote receivers is the safety net for
+        prune gossip that never arrived: a follower that missed the
+        leader's last vectors still holds (and, on failover, re-ships)
+        ops the dead leader already delivered.  Dropping 80% of the
+        coordinator↔coordinator traffic (gossip *and* Ω heartbeats, so
+        spurious flaps can double-ship too) and then crashing the leader
+        makes that path actually fire in an end-to-end run: duplicates
+        reach the sink, and the deduplicated stream is still op-for-op
+        the loss-free, crash-free serialization.
+        """
+        config = EunomiaConfig(n_shards=2, n_replicas=3, fault_tolerant=True,
+                               replica_alive_interval=0.05,
+                               replica_suspect_timeout=0.3)
+
+        def collect(inject):
+            rig = build_eunomia_rig(4, config=config, seed=91)
+            rig.sink.record = True
+            if inject:
+                net = rig.env.network
+                coordinators = [g.coordinator for g in rig.groups]
+                for a in coordinators:
+                    for b in coordinators:
+                        if a is not b:
+                            net.set_link_loss(a, b, 0.8)
+                rig.env.loop.schedule_at(0.4, rig.groups[0].crash)
+            rig.run(0.9)
+            for driver in rig.drivers:
+                driver.stop()
+            rig.env.run(until=rig.env.now + 0.8)
+            return rig
+
+        reference = collect(False).sink.collected
+        rig = collect(True)
+        raw = rig.sink.collected
+        seen, deduped = set(), []
+        for uid in raw:
+            if uid not in seen:
+                seen.add(uid)
+                deduped.append(uid)
+        # The loss made followers miss prune floors, so the failover
+        # re-shipped a window the gossip would have pruned — the dedup
+        # path demonstrably fired...
+        assert len(raw) > len(deduped)
+        # ...and absorbed it: same serialization as the healthy run.
+        assert deduped == reference
+
     def test_single_shard_config_uses_plain_service(self):
         system = build_eunomia_system(
             GeoSystemSpec(n_dcs=2, partitions_per_dc=2, clients_per_dc=1,
