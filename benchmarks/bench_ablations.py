@@ -223,6 +223,53 @@ def bench_opbuffer_backend_overload_rig(benchmark):
     assert wall_gain > 0.9
 
 
+def bench_cure_pending_backend_sweep(benchmark):
+    """Cure's deferred-update set: per-origin runs vs the classic rescan.
+
+    A cross-protocol payoff of the single-spine refactor: the run-aware
+    buffering axis, born in Eunomia's stabilizer, now reaches Cure's
+    vector-gated pending set (``pending_backend="runs"`` vs ``"scan"``).
+    The simulated protocol results must be backend-invariant (the gate is
+    a vector comparison either way; installs land through LWW puts) —
+    asserted on store fingerprints — while the run-aware variant bounds
+    each release round by the covered prefixes instead of rescanning the
+    whole set.  Wall-clock is reported informationally: at this scale the
+    pending set is a small slice of the sim loop, so the win is bounded.
+    """
+    spec = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=6,
+                         seed=29)
+    wl = WorkloadSpec(read_ratio=0.75, n_keys=500)
+
+    def run_backend(backend):
+        from repro.baselines import build_cure_system
+
+        config_start = time.perf_counter()
+        system = build_cure_system(spec, wl, pending_backend=backend)
+        system.run(3.0)
+        wall = time.perf_counter() - config_start
+        system.quiesce(2.0)
+        prints = tuple(dc.fingerprint() for dc in system.datacenters)
+        pending = sum(p.pending_count()
+                      for dc in system.datacenters for p in dc.partitions)
+        return wall, system.total_throughput(), prints, pending
+
+    def sweep():
+        return {backend: run_backend(backend)
+                for backend in ("runs", "scan")}
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["pending_backend", "wall_s", "ops_s", "drained"],
+        [[b, round(w, 3), round(t, 0), pend == 0]
+         for b, (w, t, _, pend) in out.items()]))
+    # protocol results are a strategy invariant: identical stores...
+    assert out["runs"][2] == out["scan"][2]
+    assert out["runs"][1] == pytest.approx(out["scan"][1])
+    # ...and both backends fully drain their pending sets after quiesce
+    assert out["runs"][3] == 0 and out["scan"][3] == 0
+
+
 def bench_durability_overhead_sweep(benchmark):
     """WAL durability cost across stabilizer shapes (durability × K × R).
 

@@ -1,0 +1,44 @@
+"""End-to-end geo-deployment smoke benchmark (wide-gated).
+
+The ROADMAP's "next candidate" after the overload rig: one small but
+complete EunomiaKV deployment — 3 DCs × 4 partitions × 8 clients over the
+paper's WAN topology, NTP discipline, receivers, the lot — measured for
+builder wall-clock.  This is the cost every figure experiment pays per
+cell, so a collapse here multiplies across the whole harness.
+
+Variance-first methodology (same as the overload rig, see ROADMAP): the
+run-to-run spread was measured *before* gating — 7 back-to-back runs on
+the baseline machine gave ±1.7% relative stdev, 4.8% peak-to-peak
+(simulated throughput bit-identical across runs, as it must be).  Shared
+CI runners are far noisier than an idle machine, so it gates at the wide
+50% threshold (``scripts/bench_gate.py --gate-wide``), which catches
+collapses without tripping on runner noise.
+"""
+
+import time
+
+from repro.geo.system import GeoSystemSpec, build_eunomia_system
+from repro.workload import WorkloadSpec
+
+SPEC = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=8, seed=31)
+WL = WorkloadSpec(read_ratio=0.9, n_keys=500)
+
+
+def bench_geo_small_e2e(benchmark):
+    """Wall-clock to build + run 2 simulated seconds of a full deployment."""
+
+    def run():
+        start = time.perf_counter()
+        system = build_eunomia_system(SPEC, WL)
+        system.run(2.0)
+        wall = time.perf_counter() - start
+        return wall, system.total_throughput()
+
+    def best_of_two():
+        return min((run() for _ in range(2)), key=lambda pair: pair[0])
+
+    wall, thpt = benchmark.pedantic(best_of_two, rounds=1, iterations=1)
+    print(f"\ngeo e2e: {wall:.3f}s wall for 2.0 simulated seconds, "
+          f"{thpt:.0f} ops/s simulated")
+    # the simulation itself is deterministic; only the wall-clock may vary
+    assert thpt > 3000

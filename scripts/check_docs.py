@@ -10,7 +10,14 @@ Checks, with zero dependencies beyond the stdlib:
    (GitHub anchor slugs);
 2. every ``examples/*.py`` opens with a module docstring whose ``Run:``
    stanza names its own file (``python examples/<name>.py``), so headers
-   cannot drift when examples are renamed or copied.
+   cannot drift when examples are renamed or copied;
+3. every protocol module — ``src/repro/baselines/*.py`` and
+   ``src/repro/core/protocols.py`` — opens with a module docstring (the
+   plugin modules *are* the protocol documentation);
+4. every protocol name in the ``core/protocols.py`` registry table is
+   documented in both README.md and docs/ARCHITECTURE.md, so a newly
+   registered plugin cannot ship undocumented (and a renamed one cannot
+   leave stale docs behind).
 
 Exit code 0 when clean; prints every violation and exits 1 otherwise.
 """
@@ -89,8 +96,55 @@ def check_example_headers() -> list[str]:
     return errors
 
 
+PROTOCOL_MODULES = [
+    REPO / "src" / "repro" / "core" / "protocols.py",
+    *sorted((REPO / "src" / "repro" / "baselines").glob("*.py")),
+]
+
+#: the registry's lazy table is the source of truth for protocol names
+REGISTRY_RE = re.compile(r'^\s*"(\w+)":\s*"repro\.[\w.]+",\s*$', re.MULTILINE)
+
+
+def check_protocol_modules() -> list[str]:
+    errors = []
+    for module in PROTOCOL_MODULES:
+        rel = module.relative_to(REPO)
+        text = module.read_text(encoding="utf-8")
+        if not re.match(r'^(#![^\n]*\n)?("""|\'\'\')', text):
+            errors.append(f"{rel}: protocol module must open with a "
+                          "module docstring")
+    return errors
+
+
+def registered_protocols() -> list[str]:
+    text = (REPO / "src" / "repro" / "core" / "protocols.py").read_text(
+        encoding="utf-8")
+    return REGISTRY_RE.findall(text)
+
+
+def check_protocols_documented() -> list[str]:
+    errors = []
+    protocols = registered_protocols()
+    if not protocols:
+        return ["core/protocols.py: no protocol registry entries found "
+                "(_LAZY_MODULES table missing or reshaped?)"]
+    for doc in (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md"):
+        text = doc.read_text(encoding="utf-8")
+        for protocol in protocols:
+            # Require the code-formatted name: a plain substring match
+            # would let incidental prose ("obscure", "GST machinery")
+            # satisfy the guard for short names.
+            if f"`{protocol}`" not in text:
+                errors.append(
+                    f"{doc.relative_to(REPO)}: registered protocol "
+                    f"{protocol!r} is undocumented (expected `{protocol}` "
+                    "in code format)")
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_example_headers()
+    errors = (check_links() + check_example_headers()
+              + check_protocol_modules() + check_protocols_documented())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:
@@ -98,7 +152,9 @@ def main() -> int:
         return 1
     checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
     print(f"check_docs: links ok ({checked}); "
-          f"{len(list((REPO / 'examples').glob('*.py')))} example headers ok")
+          f"{len(list((REPO / 'examples').glob('*.py')))} example headers ok; "
+          f"{len(PROTOCOL_MODULES)} protocol modules ok; "
+          f"{len(registered_protocols())} registered protocols documented")
     return 0
 
 

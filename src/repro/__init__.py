@@ -26,17 +26,37 @@ Quickstart::
     print(system.total_throughput(), "ops/s")
 """
 
-from .baselines import PROTOCOLS, build_system
+from .baselines import build_system
 from .calibration import Calibration
 from .core import EunomiaConfig
-from .geo import GeoSystem, GeoSystemSpec, build_eunomia_system
+from .core.protocols import (
+    ProtocolSpec,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+from .geo import GeoSystem, GeoSystemSpec, build_eunomia_system, build_geo_system
 from .workload import WorkloadSpec
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    if name == "PROTOCOLS":
+        # Live view: plugins registered after import appear immediately
+        # (available_protocols() is the explicit spelling of the same).
+        return available_protocols()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "build_system",
+    "build_geo_system",
     "build_eunomia_system",
+    "ProtocolSpec",
+    "get_protocol",
+    "register_protocol",
+    "available_protocols",
     "PROTOCOLS",
     "GeoSystem",
     "GeoSystemSpec",

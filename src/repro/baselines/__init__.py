@@ -8,18 +8,34 @@ same substrate as EunomiaKV:
   shared :mod:`gst` machinery (Figures 1, 5, 6);
 * :mod:`eventual` — the zero-overhead eventually consistent yardstick.
 
-``build_system`` dispatches to any of them (plus EunomiaKV) by name.
+Each module registers a :class:`~repro.core.protocols.ProtocolSpec`
+plugin, so every baseline deploys through the same
+:func:`~repro.geo.system.build_geo_system` spine as EunomiaKV — the same
+topology, NTP-disciplined clocks, ring, closed-loop clients, and failure
+injection (the paper makes the same point: GentleRain and Cure "are
+implemented using the codebase of EunomiaKV").  ``build_system``
+dispatches to any of them (plus EunomiaKV) by name.
 """
 
 from typing import Optional
 
-from ..geo.system import GeoSystem, GeoSystemSpec, build_eunomia_system
+from ..core.protocols import available_protocols
+from ..geo.system import (
+    GeoSystem,
+    GeoSystemSpec,
+    build_eunomia_system,
+    build_geo_system,
+)
 from ..metrics.collector import MetricsHub
 from ..workload.generator import WorkloadSpec
-from .cure import CurePartition, build_cure_system
-from .eventual import EventualPartition, build_eventual_system
-from .gentlerain import GentleRainPartition, build_gentlerain_system
-from .gst import GstPartition, GstTimings, build_gst_system
+from .cure import CurePartition, CureProtocol, build_cure_system
+from .eventual import EventualPartition, EventualProtocol, build_eventual_system
+from .gentlerain import (
+    GentleRainPartition,
+    GentleRainProtocol,
+    build_gentlerain_system,
+)
+from .gst import GstPartition, GstProtocol, GstTimings, build_gst_system
 from .messages import (
     ChainForward,
     GstBroadcast,
@@ -28,7 +44,7 @@ from .messages import (
     SeqReply,
     SeqRequest,
 )
-from .seqstore import SeqPartition, build_seq_system
+from .seqstore import SeqPartition, SequencerProtocol, build_seq_system
 from .sequencer import ChainSequencerNode, Sequencer, build_chain
 
 __all__ = [
@@ -36,15 +52,20 @@ __all__ = [
     "ChainSequencerNode",
     "build_chain",
     "SeqPartition",
+    "SequencerProtocol",
     "build_seq_system",
     "GstTimings",
     "GstPartition",
+    "GstProtocol",
     "build_gst_system",
     "GentleRainPartition",
+    "GentleRainProtocol",
     "build_gentlerain_system",
     "CurePartition",
+    "CureProtocol",
     "build_cure_system",
     "EventualPartition",
+    "EventualProtocol",
     "build_eventual_system",
     "build_system",
     "PROTOCOLS",
@@ -56,24 +77,22 @@ __all__ = [
     "GstBroadcast",
 ]
 
-PROTOCOLS = ("eunomia", "eventual", "gentlerain", "cure", "sseq", "aseq")
+def __getattr__(name: str):
+    if name == "PROTOCOLS":
+        # Live view, not an import-time snapshot: protocols registered
+        # after import (via repro.register_protocol) appear immediately.
+        return available_protocols()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_system(protocol: str, spec: GeoSystemSpec, workload: WorkloadSpec,
                  metrics: Optional[MetricsHub] = None, **kwargs) -> GeoSystem:
-    """Uniform entry point: build any of the paper's systems by name."""
-    if protocol == "eunomia":
-        return build_eunomia_system(spec, workload, metrics=metrics, **kwargs)
-    if protocol == "eventual":
-        return build_eventual_system(spec, workload, metrics=metrics, **kwargs)
-    if protocol == "gentlerain":
-        return build_gentlerain_system(spec, workload, metrics=metrics, **kwargs)
-    if protocol == "cure":
-        return build_cure_system(spec, workload, metrics=metrics, **kwargs)
-    if protocol == "sseq":
-        return build_seq_system(spec, workload, synchronous=True,
-                                metrics=metrics, **kwargs)
-    if protocol == "aseq":
-        return build_seq_system(spec, workload, synchronous=False,
-                                metrics=metrics, **kwargs)
-    raise ValueError(f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")
+    """Uniform entry point: build any of the paper's systems by name.
+
+    A thin alias of :func:`repro.geo.system.build_geo_system` — every
+    protocol, EunomiaKV included, goes through the one deployment spine.
+    """
+    if protocol in ("sseq", "aseq") and "synchronous" in kwargs:
+        raise TypeError("pick the protocol name, not a synchronous= flag")
+    return build_geo_system(protocol, spec, workload, metrics=metrics,
+                            **kwargs)

@@ -12,24 +12,98 @@ vector.  Compared with GentleRain:
   handling cost, and the per-round stabilization work grows with M → lower
   throughput (Figure 5), and on far pairs the vector buys nothing, so
   GentleRain comes out *ahead* there (Figure 6 right).
+
+The deferred-update set is run-aware by default
+(``pending_backend="runs"``), mirroring Eunomia's own buffer and
+GentleRain's pending set; ``"scan"`` retains the classic whole-set rescan
+as an ablation.  Unlike those two, Cure's release gate is a *vector*
+comparison, which admits no total order — see :class:`_PendingRuns` for
+why per-origin runs still work.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from ..calibration import Calibration
 from ..clocks.physical import PhysicalClock
 from ..core.messages import ClientUpdate
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..core.protocols import register_protocol
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..kvstore.types import Update
 from ..metrics.collector import MetricsHub
 from ..sim.env import Environment
 from ..sim.process import CostModel
 from ..workload.generator import WorkloadSpec
-from .gst import GstPartition, GstTimings, build_gst_system
+from .gst import GstPartition, GstProtocol, GstTimings, check_pending_backend
 
-__all__ = ["CurePartition", "build_cure_system"]
+__all__ = ["CurePartition", "CureProtocol", "build_cure_system"]
+
+PENDING_BACKENDS = ("runs", "scan")
+
+
+class _PendingRuns:
+    """Per-origin runs for a *vector*-gated pending set.
+
+    Correctness for the non-totally-ordered case: GentleRain's scalar gate
+    admits a total order (a heap, or Eunomia-style merged runs), but Cure's
+    gate — ``vts[d] <= GSV[d]`` for every remote ``d`` — does not: two
+    pending updates can each be blocked by a different vector entry, so no
+    single priority admits pop-until-blocked.  Per-origin runs still work,
+    on two facts:
+
+    1. Updates from origin ``k`` arrive over one FIFO link (the same-index
+       sibling partition) with strictly increasing ``vts[k]`` (hybrid-clock
+       Property 2), so appending keeps each run sorted by the origin's own
+       entry — O(1) ingestion, no comparisons.
+    2. The gate includes the origin's own entry, so any update with
+       ``vts[k] > GSV[k]`` is unreleasable *regardless of its other
+       entries*.  Scanning only the prefix with ``vts[k] <= GSV[k]`` can
+       therefore never miss a releasable update; the suffix is untouched.
+
+    Within that covered prefix an update may still be blocked by *another*
+    entry; blocked items are put back at the head in their original
+    relative order, which preserves fact 1's sortedness.  The per-round
+    cost drops from O(whole pending set) to O(covered prefixes), and
+    installs stay deterministic (origins in dict insertion order — the
+    order each origin first deferred, itself deterministic under the
+    simulator — FIFO within an origin); the final store is
+    backend-invariant because installs go through LWW puts.
+    """
+
+    __slots__ = ("_runs", "_size")
+
+    def __init__(self) -> None:
+        self._runs: dict[int, deque] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, origin: int, update: Update, arrival: float) -> None:
+        run = self._runs.get(origin)
+        if run is None:
+            run = self._runs[origin] = deque()
+        run.append((update, arrival))
+        self._size += 1
+
+    def pop_covered(self, gsv: tuple, releasable) -> list:
+        """Remove and return every releasable (update, arrival), in
+        per-origin FIFO order; blocked prefix items stay queued."""
+        released = []
+        for k, run in self._runs.items():
+            blocked = []
+            while run and run[0][0].vts[k] <= gsv[k]:
+                item = run.popleft()
+                if releasable(item[0]):
+                    released.append(item)
+                    self._size -= 1
+                else:
+                    blocked.append(item)
+            if blocked:
+                run.extendleft(reversed(blocked))
+        return released
 
 
 class CurePartition(GstPartition):
@@ -44,7 +118,8 @@ class CurePartition(GstPartition):
     def __init__(self, env: Environment, name: str, dc_id: int, index: int,
                  n_dcs: int, clock: PhysicalClock, timings: GstTimings,
                  calibration: Optional[Calibration] = None,
-                 metrics: Optional[MetricsHub] = None):
+                 metrics: Optional[MetricsHub] = None,
+                 pending_backend: str = "runs"):
         cal = calibration or Calibration()
         cost_model = CostModel(costs={
             "ClientRead": (cal.cost("partition_read")
@@ -59,6 +134,10 @@ class CurePartition(GstPartition):
         super().__init__(env, name, dc_id, index, n_dcs, clock, timings,
                          summary_width=n_dcs, cost_model=cost_model,
                          metrics=metrics)
+        check_pending_backend(pending_backend, PENDING_BACKENDS)
+        self.pending_backend = pending_backend
+        if pending_backend == "runs":
+            self._pending = _PendingRuns()
 
     # -- timestamping ----------------------------------------------------
     def _stamp(self, msg: ClientUpdate) -> Update:
@@ -83,11 +162,18 @@ class CurePartition(GstPartition):
         return True
 
     def _defer(self, update: Update, arrival: float) -> None:
+        if self.pending_backend == "runs":
+            self._pending.add(update.origin_dc, update, arrival)
+            return
         self._pending.append((update, arrival))
 
     def _release_ready(self) -> None:
-        # Vector gates are not totally ordered, so scan rather than pop a
-        # heap; pending sets stay small (a stabilization window's worth).
+        if self.pending_backend == "runs":
+            for update, arrival in self._pending.pop_covered(
+                    self.summary, self._releasable):
+                self._install(update, arrival)
+            return
+        # Classic ablation: rescan the whole pending set every round.
         still_pending = []
         for update, arrival in self._pending:
             if self._releasable(update):
@@ -101,10 +187,24 @@ class CurePartition(GstPartition):
         return tuple(self.vv)
 
 
+class CureProtocol(GstProtocol):
+    """Deployment plugin: GST partitions with the vector summary; the
+    ``pending_backend`` axis ("runs" default, "scan" ablation) threads
+    through the spine's option dict."""
+
+    partition_cls = CurePartition
+    pending_backends = PENDING_BACKENDS
+
+
+register_protocol(CureProtocol())
+
+
 def build_cure_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                       timings: Optional[GstTimings] = None,
                       metrics: Optional[MetricsHub] = None,
-                      history=None) -> GeoSystem:
+                      history=None,
+                      pending_backend: str = "runs") -> GeoSystem:
     """Assemble a Cure deployment on the shared frame."""
-    return build_gst_system(spec, workload, CurePartition,
-                            timings=timings, metrics=metrics, history=history)
+    return build_geo_system("cure", spec, workload, metrics=metrics,
+                            history=history, timings=timings,
+                            pending_backend=pending_backend)

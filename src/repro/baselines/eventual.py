@@ -15,14 +15,19 @@ from ..clocks.physical import PhysicalClock
 from ..core.config import EunomiaConfig
 from ..core.messages import ClientUpdate, ClientUpdateReply, RemoteData
 from ..core.partition import EunomiaPartition
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..core.protocols import (
+    ProtocolSpec,
+    SiteContext,
+    SitePlan,
+    register_protocol,
+)
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..kvstore.types import Update, Versioned
 from ..metrics.collector import MetricsHub
 from ..sim.process import CostModel, Process
 from ..workload.generator import WorkloadSpec
-from .common import BaselineDatacenter, attach_clients, build_frame
 
-__all__ = ["EventualPartition", "build_eventual_system"]
+__all__ = ["EventualPartition", "EventualProtocol", "build_eventual_system"]
 
 
 class EventualPartition(EunomiaPartition):
@@ -77,37 +82,41 @@ class EventualPartition(EunomiaPartition):
                            (now - update.commit_time) * 1e3)
 
 
+class EventualProtocol(ProtocolSpec):
+    """Deployment plugin: partitions only — no stabilizer, no receiver, no
+    causal metadata (clients carry a zero-width session vector)."""
+
+    name = "eventual"
+
+    def client_entries(self, n_dcs: int) -> int:
+        return 0
+
+    def option_names(self) -> tuple:
+        return ("config",)
+
+    def prepare(self, spec, options: dict) -> dict:
+        options["config"] = options.get("config") or EunomiaConfig()
+        return options
+
+    def build_site(self, site: SiteContext) -> SitePlan:
+        partitions = [
+            EventualPartition(site.env, site.pname(i), site.dc_id, i,
+                              site.n_dcs, site.clock(),
+                              site.options["config"],
+                              calibration=site.calibration,
+                              metrics=site.metrics)
+            for i in range(site.n_partitions)
+        ]
+        return SitePlan(partitions=partitions)
+
+
+register_protocol(EventualProtocol())
+
+
 def build_eventual_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                           config: Optional[EunomiaConfig] = None,
                           metrics: Optional[MetricsHub] = None,
                           history=None) -> GeoSystem:
     """Assemble the eventually consistent deployment."""
-    config = config or EunomiaConfig()
-    frame = build_frame(spec, metrics)
-    env, cal = frame.env, spec.calibration
-
-    partitions_by_dc: list[list[EventualPartition]] = []
-    for dc_id in range(spec.n_dcs):
-        rng = env.rng.stream(f"clocks/dc{dc_id}")
-        partitions_by_dc.append([
-            EventualPartition(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
-                              frame.ntp.manage(PhysicalClock.random(env, rng)),
-                              config, calibration=cal, metrics=frame.metrics)
-            for i in range(spec.partitions_per_dc)
-        ])
-
-    for m in range(spec.n_dcs):
-        for k in range(spec.n_dcs):
-            if m == k:
-                continue
-            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
-                mine.set_sibling(k, theirs)
-
-    datacenters = [
-        BaselineDatacenter(dc_id, partitions_by_dc[dc_id])
-        for dc_id in range(spec.n_dcs)
-    ]
-    clients = attach_clients(frame, workload, datacenters, n_entries=0,
-                             history=history)
-    return GeoSystem(env, spec, frame.metrics, datacenters, clients,
-                     protocol="eventual")
+    return build_geo_system("eventual", spec, workload, metrics=metrics,
+                            history=history, config=config)

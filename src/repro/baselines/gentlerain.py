@@ -34,26 +34,20 @@ from typing import Optional
 from ..calibration import Calibration
 from ..clocks.physical import PhysicalClock
 from ..core.messages import ClientUpdate
+from ..core.protocols import register_protocol
 from ..datastruct.runbuffer import RunBuffer
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..kvstore.types import Update
 from ..metrics.collector import MetricsHub
 from ..sim.env import Environment
 from ..sim.process import CostModel
 from ..workload.generator import WorkloadSpec
-from .gst import GstPartition, GstTimings, build_gst_system
+from .gst import GstPartition, GstProtocol, GstTimings, check_pending_backend
 
-__all__ = ["GentleRainPartition", "build_gentlerain_system"]
+__all__ = ["GentleRainPartition", "GentleRainProtocol",
+           "build_gentlerain_system"]
 
 PENDING_BACKENDS = ("runs", "heap")
-
-
-def _check_pending_backend(pending_backend: str) -> None:
-    if pending_backend not in PENDING_BACKENDS:
-        raise ValueError(
-            f"unknown pending backend {pending_backend!r} "
-            f"(expected one of {', '.join(PENDING_BACKENDS)})"
-        )
 
 
 class GentleRainPartition(GstPartition):
@@ -84,7 +78,7 @@ class GentleRainPartition(GstPartition):
         super().__init__(env, name, dc_id, index, n_dcs, clock, timings,
                          summary_width=1, cost_model=cost_model,
                          metrics=metrics)
-        _check_pending_backend(pending_backend)
+        check_pending_backend(pending_backend, PENDING_BACKENDS)
         self.pending_backend = pending_backend
         if pending_backend == "runs":
             self._pending = RunBuffer()
@@ -130,12 +124,16 @@ class GentleRainPartition(GstPartition):
         return (min(self.vv),)
 
 
-class _HeapGentleRainPartition(GentleRainPartition):
-    """GentleRain with the classic global pending heap (ablation)."""
+class GentleRainProtocol(GstProtocol):
+    """Deployment plugin: GST partitions with the scalar summary; the
+    ``pending_backend`` axis ("runs" default, "heap" ablation) threads
+    through the spine's option dict."""
 
-    def __init__(self, *args, **kwargs):
-        kwargs["pending_backend"] = "heap"
-        super().__init__(*args, **kwargs)
+    partition_cls = GentleRainPartition
+    pending_backends = PENDING_BACKENDS
+
+
+register_protocol(GentleRainProtocol())
 
 
 def build_gentlerain_system(spec: GeoSystemSpec, workload: WorkloadSpec,
@@ -144,8 +142,6 @@ def build_gentlerain_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                             history=None,
                             pending_backend: str = "runs") -> GeoSystem:
     """Assemble a GentleRain deployment on the shared frame."""
-    _check_pending_backend(pending_backend)
-    cls = (GentleRainPartition if pending_backend == "runs"
-           else _HeapGentleRainPartition)
-    return build_gst_system(spec, workload, cls,
-                            timings=timings, metrics=metrics, history=history)
+    return build_geo_system("gentlerain", spec, workload, metrics=metrics,
+                            history=history, timings=timings,
+                            pending_backend=pending_backend)

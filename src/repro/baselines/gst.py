@@ -24,20 +24,20 @@ per-round stabilization cost at every partition — which is why shrinking the
 
 :class:`GstPartition` implements the whole machinery generically over the
 summary width; the concrete flavors are thin subclasses in
-:mod:`repro.baselines.gentlerain` and :mod:`repro.baselines.cure`.
+:mod:`repro.baselines.gentlerain` and :mod:`repro.baselines.cure`, each
+deployed over the shared spine by a :class:`GstProtocol` plugin
+(:mod:`repro.core.protocols`) — the only protocol-specific deployment
+pieces are the partitions themselves and the per-DC aggregator wiring.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..calibration import Calibration
 from ..clocks.hlc import HybridLogicalClock
 from ..clocks.physical import PhysicalClock
 from ..clocks.vector import vc_merge, vc_zero
-from ..core.config import EunomiaConfig
 from ..core.messages import (
     ClientRead,
     ClientReadReply,
@@ -45,17 +45,28 @@ from ..core.messages import (
     ClientUpdateReply,
     RemoteData,
 )
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..core.protocols import ProtocolSpec, SiteContext, SitePlan
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..kvstore.storage import VersionedStore
 from ..kvstore.types import Update, Versioned
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
 from ..workload.generator import WorkloadSpec
-from .common import BaselineDatacenter, attach_clients, build_frame
 from .messages import GstBroadcast, GstHeartbeat, GstReport
 
-__all__ = ["GstTimings", "GstPartition", "build_gst_system"]
+__all__ = ["GstTimings", "GstPartition", "GstProtocol", "build_gst_system",
+           "check_pending_backend"]
+
+
+def check_pending_backend(pending_backend: str, allowed: Sequence) -> None:
+    """Validate a flavor's deferred-update backend choice (one message,
+    shared by the plugins' ``prepare`` and the partitions themselves)."""
+    if pending_backend not in allowed:
+        raise ValueError(
+            f"unknown pending backend {pending_backend!r} "
+            f"(expected one of {', '.join(allowed)})"
+        )
 
 
 @dataclass
@@ -131,6 +142,18 @@ class GstPartition(Process):
         if self.is_aggregator:
             self.periodic(self.timings.gst_interval, self._aggregate,
                           phase=self.timings.gst_interval)
+
+    def recover(self) -> None:
+        """Restart after a crash-stop with protocol state intact.
+
+        Crashing bumps the process epoch, which kills the periodic
+        heartbeat/report/aggregate tasks — re-arm them so the partition
+        resumes participating in stabilization (its VV/summary then catch
+        up from fresh heartbeats; updates dropped while down are simply
+        lost, as for any crash-stop store without a recovery log).
+        """
+        super().recover()
+        self.start()
 
     # ------------------------------------------------------------------
     # Client operations
@@ -248,44 +271,78 @@ class GstPartition(Process):
         return len(self._pending)
 
 
-def build_gst_system(spec: GeoSystemSpec, workload: WorkloadSpec,
-                     partition_cls, timings: Optional[GstTimings] = None,
-                     metrics: Optional[MetricsHub] = None,
-                     history=None) -> GeoSystem:
-    """Assemble a GentleRain- or Cure-style deployment."""
-    timings = timings or GstTimings()
-    frame = build_frame(spec, metrics)
-    env = frame.env
+class GstProtocol(ProtocolSpec):
+    """Deployment plugin shared by the global-stabilization flavors.
 
-    partitions_by_dc: list[list[GstPartition]] = []
-    for dc_id in range(spec.n_dcs):
-        rng = env.rng.stream(f"clocks/dc{dc_id}")
+    The only protocol-specific pieces of a GST datacenter are the
+    partitions (flavor subclass of :class:`GstPartition`) and the per-DC
+    aggregator wiring; there is no separate stabilizer process and no
+    remote receiver — updates travel sibling→sibling and visibility is
+    gated locally by the summary.  Everything else (frame, clocks,
+    clients, failure injection) comes from the spine.
+    """
+
+    #: flavor subclass; overridden by instances/subclasses
+    partition_cls: type = GstPartition
+    #: flavors with a deferred-update backend ablation set this to the
+    #: allowed backend names, first entry the default; None = no such axis
+    pending_backends: Optional[tuple] = None
+
+    def __init__(self, partition_cls: Optional[type] = None):
+        if partition_cls is not None:
+            self.partition_cls = partition_cls
+        self.name = self.partition_cls.flavor
+
+    def client_entries(self, n_dcs: int) -> int:
+        return self.partition_cls.summary_width_static(n_dcs)
+
+    def option_names(self) -> tuple:
+        if self.pending_backends:
+            return ("timings", "pending_backend")
+        return ("timings",)
+
+    def prepare(self, spec, options: dict) -> dict:
+        options["timings"] = options.get("timings") or GstTimings()
+        if self.pending_backends:
+            check_pending_backend(
+                options.setdefault("pending_backend",
+                                   self.pending_backends[0]),
+                self.pending_backends)
+        return options
+
+    def partition_kwargs(self, options: dict) -> dict:
+        """Extra per-partition constructor kwargs (flavor tunables)."""
+        if self.pending_backends:
+            return {"pending_backend": options["pending_backend"]}
+        return {}
+
+    def build_site(self, site: SiteContext) -> SitePlan:
+        extra = self.partition_kwargs(site.options)
         partitions = [
-            partition_cls(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
-                          frame.ntp.manage(PhysicalClock.random(env, rng)),
-                          timings, calibration=spec.calibration,
-                          metrics=frame.metrics)
-            for i in range(spec.partitions_per_dc)
+            self.partition_cls(site.env, site.pname(i), site.dc_id, i,
+                               site.n_dcs, site.clock(),
+                               site.options["timings"],
+                               calibration=site.calibration,
+                               metrics=site.metrics, **extra)
+            for i in range(site.n_partitions)
         ]
         aggregator = partitions[0]
         aggregator.local_partitions = list(partitions)
         for partition in partitions:
             partition.aggregator = aggregator
-        partitions_by_dc.append(partitions)
+        return SitePlan(partitions=partitions)
 
-    for m in range(spec.n_dcs):
-        for k in range(spec.n_dcs):
-            if m == k:
-                continue
-            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
-                mine.set_sibling(k, theirs)
 
-    datacenters = [
-        BaselineDatacenter(dc_id, partitions_by_dc[dc_id])
-        for dc_id in range(spec.n_dcs)
-    ]
-    clients = attach_clients(frame, workload, datacenters,
-                             n_entries=partition_cls.summary_width_static(spec.n_dcs),
-                             history=history)
-    return GeoSystem(env, spec, frame.metrics, datacenters, clients,
-                     protocol=partition_cls.flavor)
+def build_gst_system(spec: GeoSystemSpec, workload: WorkloadSpec,
+                     partition_cls, timings: Optional[GstTimings] = None,
+                     metrics: Optional[MetricsHub] = None,
+                     history=None, **options) -> GeoSystem:
+    """Assemble a GST-style deployment for an arbitrary flavor class.
+
+    The named flavors go through the registry (``build_geo_system(
+    "gentlerain", ...)``); this entry point exists for ad-hoc flavor
+    subclasses in tests and ablations.
+    """
+    return build_geo_system(GstProtocol(partition_cls), spec, workload,
+                            metrics=metrics, history=history,
+                            timings=timings, **options)

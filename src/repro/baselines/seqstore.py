@@ -26,17 +26,22 @@ from ..clocks.physical import PhysicalClock
 from ..core.config import EunomiaConfig
 from ..core.messages import ClientUpdate, ClientUpdateReply, RemoteData
 from ..core.partition import EunomiaPartition
+from ..core.protocols import (
+    ProtocolSpec,
+    SiteContext,
+    SitePlan,
+    register_protocol,
+)
 from ..geo.receiver import Receiver
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..kvstore.types import Update, Versioned
 from ..metrics.collector import MetricsHub
 from ..sim.process import CostModel, Process
 from ..workload.generator import WorkloadSpec
-from .common import BaselineDatacenter, attach_clients, build_frame
 from .messages import SeqReply, SeqRequest
-from .sequencer import Sequencer
+from .sequencer import Sequencer, build_chain
 
-__all__ = ["SeqPartition", "build_seq_system"]
+__all__ = ["SeqPartition", "SequencerProtocol", "build_seq_system"]
 
 
 class SeqPartition(EunomiaPartition):
@@ -114,53 +119,79 @@ class SeqPartition(EunomiaPartition):
             self.send(client, ClientUpdateReply(msg.vts, request_id))
 
 
+class SequencerProtocol(ProtocolSpec):
+    """Deployment plugin for the sequencer stores.
+
+    Contributes a per-DC sequencer (plain, or a van-Renesse chain of
+    ``chain_length`` nodes — the §7.1 fault-tolerant competitor), the
+    shared Algorithm 5 receiver for the ordered metadata stream, and
+    :class:`SeqPartition` partitions.  The sequencer's tail is the
+    propagator: the spine points it at every remote receiver.
+    """
+
+    def __init__(self, synchronous: bool):
+        self.synchronous = synchronous
+        self.name = "sseq" if synchronous else "aseq"
+
+    def client_entries(self, n_dcs: int) -> int:
+        return n_dcs
+
+    def option_names(self) -> tuple:
+        return ("config", "chain_length")
+
+    def prepare(self, spec, options: dict) -> dict:
+        config = options.get("config") or EunomiaConfig()
+        options["config"] = config
+        chain_length = options.setdefault("chain_length", 1)
+        if chain_length < 1:
+            raise ValueError("chain needs at least one node")
+        return options
+
+    def build_site(self, site: SiteContext) -> SitePlan:
+        config = site.options["config"]
+        chain_length = site.options["chain_length"]
+        if chain_length == 1:
+            nodes = [Sequencer(site.env, f"dc{site.dc_id}/sequencer",
+                               site.dc_id, calibration=site.calibration,
+                               metrics=site.metrics)]
+        else:
+            nodes = build_chain(site.env, site.dc_id, chain_length,
+                                calibration=site.calibration,
+                                metrics=site.metrics,
+                                name_prefix=f"dc{site.dc_id}/chain")
+        receiver = Receiver(site.env, f"dc{site.dc_id}/receiver", site.dc_id,
+                            site.n_dcs,
+                            check_interval=config.receiver_check_interval,
+                            calibration=site.calibration,
+                            metrics=site.metrics)
+        partitions = [
+            SeqPartition(site.env, site.pname(i), site.dc_id, i, site.n_dcs,
+                         site.clock(), config, synchronous=self.synchronous,
+                         calibration=site.calibration, metrics=site.metrics)
+            for i in range(site.n_partitions)
+        ]
+        for partition in partitions:
+            partition.set_sequencer(nodes[0])      # requests enter at the head
+        receiver.set_partitions(site.ring, partitions)
+        return SitePlan(partitions=partitions, extras=nodes,
+                        receiver=receiver, propagators=[nodes[-1]])
+
+
+register_protocol(SequencerProtocol(synchronous=True))
+register_protocol(SequencerProtocol(synchronous=False))
+
+
 def build_seq_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                      synchronous: bool = True,
                      config: Optional[EunomiaConfig] = None,
                      metrics: Optional[MetricsHub] = None,
-                     history=None) -> GeoSystem:
-    """Assemble an S-Seq (``synchronous=True``) or A-Seq deployment."""
-    config = config or EunomiaConfig()
-    frame = build_frame(spec, metrics)
-    env, cal = frame.env, spec.calibration
+                     history=None, chain_length: int = 1) -> GeoSystem:
+    """Assemble an S-Seq (``synchronous=True``) or A-Seq deployment.
 
-    sequencers: list[Sequencer] = []
-    receivers: list[Receiver] = []
-    partitions_by_dc: list[list[SeqPartition]] = []
-    for dc_id in range(spec.n_dcs):
-        rng = env.rng.stream(f"clocks/dc{dc_id}")
-        sequencers.append(Sequencer(env, f"dc{dc_id}/sequencer", dc_id,
-                                    calibration=cal, metrics=frame.metrics))
-        receivers.append(Receiver(env, f"dc{dc_id}/receiver", dc_id,
-                                  spec.n_dcs,
-                                  check_interval=config.receiver_check_interval,
-                                  calibration=cal, metrics=frame.metrics))
-        partitions = [
-            SeqPartition(env, f"dc{dc_id}/p{i}", dc_id, i, spec.n_dcs,
-                         frame.ntp.manage(PhysicalClock.random(env, rng)),
-                         config, synchronous=synchronous, calibration=cal,
-                         metrics=frame.metrics)
-            for i in range(spec.partitions_per_dc)
-        ]
-        for partition in partitions:
-            partition.set_sequencer(sequencers[dc_id])
-        receivers[dc_id].set_partitions(frame.ring, partitions)
-        partitions_by_dc.append(partitions)
-
-    for m in range(spec.n_dcs):
-        for k in range(spec.n_dcs):
-            if m == k:
-                continue
-            sequencers[m].add_destination(receivers[k])
-            for mine, theirs in zip(partitions_by_dc[m], partitions_by_dc[k]):
-                mine.set_sibling(k, theirs)
-
-    datacenters = [
-        BaselineDatacenter(dc_id, partitions_by_dc[dc_id],
-                           extras=[sequencers[dc_id], receivers[dc_id]])
-        for dc_id in range(spec.n_dcs)
-    ]
-    clients = attach_clients(frame, workload, datacenters,
-                             n_entries=spec.n_dcs, history=history)
-    protocol = "sseq" if synchronous else "aseq"
-    return GeoSystem(env, spec, frame.metrics, datacenters, clients, protocol)
+    ``chain_length > 1`` replicates each DC's sequencer as a chain — the
+    paper's §7.1 fault-tolerant sequencer, now a first-class end-to-end
+    deployment instead of a rig-only configuration.
+    """
+    return build_geo_system("sseq" if synchronous else "aseq", spec,
+                            workload, metrics=metrics, history=history,
+                            config=config, chain_length=chain_length)

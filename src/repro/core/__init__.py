@@ -33,6 +33,14 @@ from .messages import (
     StateTransferRequest,
 )
 from .partition import EunomiaPartition
+from .protocols import (
+    ProtocolSpec,
+    SiteContext,
+    SitePlan,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
 from .tree import CombinedBatch, TreeRelay
 from .replica import EunomiaReplica
 from .service import EunomiaService, StabilizerBase
@@ -63,6 +71,12 @@ __all__ = [
     "OmegaElection",
     "TreeRelay",
     "CombinedBatch",
+    "ProtocolSpec",
+    "SiteContext",
+    "SitePlan",
+    "register_protocol",
+    "get_protocol",
+    "available_protocols",
     "AddOpBatch",
     "ApplyRemote",
     "ApplyRemoteOk",

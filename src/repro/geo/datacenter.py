@@ -1,13 +1,23 @@
-"""Assembly of one EunomiaKV datacenter.
+"""Assembly of one datacenter — any protocol, one spine.
 
-A datacenter is N partitions (Alg. 2), an Eunomia stabilizer complex — any
+A :class:`Datacenter` owns the wiring every protocol shares: it creates
+the :class:`~repro.core.protocols.SiteContext` (per-DC clock stream, NTP
+discipline, ring, metrics), asks the protocol's
+:class:`~repro.core.protocols.ProtocolSpec` plugin for the
+protocol-specific pieces (partitions, stabilizer/sequencer complex,
+receiver), and then owns cross-datacenter wiring (``connect``: every
+stable-stream propagator gains every remote receiver as a destination,
+and every partition learns its remote siblings for the §5 direct data
+shipping), start order, and store introspection.
+
+For EunomiaKV the plugin (:class:`EunomiaProtocol`, registered here) is a
+datacenter of N partitions (Alg. 2), an Eunomia stabilizer complex — any
 of the four shapes :func:`repro.core.assembly.build_stabilizer_stack`
 produces (plain service, Alg. 4 replica group, K-shard pipeline, or the
-fault-tolerant K-shard × R-replica composition) — and a receiver (Alg. 5),
-all wired together.  ``connect`` then links datacenters pairwise: every
-stable-run propagator (service, replica, or coordinator) gains every
-remote receiver as a destination, and every partition learns its remote
-siblings for the §5 direct data shipping.
+fault-tolerant K-shard × R-replica composition) — and a receiver
+(Alg. 5).  The baseline protocols plug into the *same* spine from
+:mod:`repro.baselines`, which is what makes every measured difference
+protocol, not plumbing.
 """
 
 from __future__ import annotations
@@ -16,76 +26,135 @@ from typing import Callable, Optional
 
 from ..calibration import Calibration
 from ..clocks.ntp import NtpSynchronizer
-from ..clocks.physical import PhysicalClock
 from ..core.assembly import build_stabilizer_stack
 from ..core.config import EunomiaConfig
 from ..core.partition import EunomiaPartition
+from ..core.protocols import (
+    ProtocolSpec,
+    SiteContext,
+    SitePlan,
+    register_protocol,
+)
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 
-__all__ = ["Datacenter"]
+__all__ = ["Datacenter", "EunomiaProtocol"]
+
+
+class EunomiaProtocol(ProtocolSpec):
+    """EunomiaKV as a plugin: Alg. 2 partitions + stabilizer stack + Alg. 5
+    receiver.  Options: ``config`` (:class:`EunomiaConfig`, all four
+    stabilizer shapes, durability, buffer backends), ``tree_factory``
+    (pins every stabilizer's buffer structure — the §6 ablation hook)."""
+
+    name = "eunomia"
+
+    def client_entries(self, n_dcs: int) -> int:
+        return n_dcs
+
+    def option_names(self) -> tuple:
+        return ("config", "tree_factory")
+
+    def prepare(self, spec, options: dict) -> dict:
+        config = options.get("config") or EunomiaConfig()
+        config.validate()
+        options["config"] = config
+        options.setdefault("tree_factory", None)
+        return options
+
+    def build_site(self, site: SiteContext) -> SitePlan:
+        from .receiver import Receiver  # local import avoids cycle at load
+
+        config = site.options["config"]
+        cal = site.calibration
+        partitions = [
+            EunomiaPartition(
+                site.env, site.pname(index), site.dc_id, index, site.n_dcs,
+                site.clock(), config, calibration=cal, metrics=site.metrics,
+            )
+            for index in range(site.n_partitions)
+        ]
+        stack = build_stabilizer_stack(
+            site.env, site.dc_id, site.n_partitions, config, cal,
+            metrics=site.metrics, tree_factory=site.options["tree_factory"],
+            name_prefix=f"dc{site.dc_id}/",
+        )
+        receiver = Receiver(
+            site.env, f"dc{site.dc_id}/receiver", site.dc_id, site.n_dcs,
+            check_interval=config.receiver_check_interval,
+            calibration=cal, metrics=site.metrics,
+        )
+        receiver.set_partitions(site.ring, partitions)
+        relays = stack.wire_uplinks(partitions)
+        return SitePlan(
+            partitions=partitions, extras=stack.processes(),
+            receiver=receiver, propagators=stack.propagators(),
+            relays=relays, stack=stack,
+        )
+
+
+_EUNOMIA = register_protocol(EunomiaProtocol())
 
 
 class Datacenter:
-    """One site of an EunomiaKV deployment."""
+    """One site of a geo-replicated deployment, any registered protocol.
+
+    The legacy signature — ``Datacenter(env, dc_id, n_dcs, n_partitions,
+    ring, config)`` — still builds an EunomiaKV site; passing
+    ``protocol=`` (a :class:`ProtocolSpec`) with a prepared ``options``
+    dict builds any other plugin over the identical frame.
+    """
 
     def __init__(self, env: Environment, dc_id: int, n_dcs: int,
                  n_partitions: int, ring: ConsistentHashRing,
-                 config: EunomiaConfig,
+                 config: Optional[EunomiaConfig] = None,
                  calibration: Optional[Calibration] = None,
                  metrics: Optional[MetricsHub] = None,
                  ntp: Optional[NtpSynchronizer] = None,
-                 tree_factory: Optional[Callable] = None):
-        from .receiver import Receiver  # local import avoids cycle at module load
-
+                 tree_factory: Optional[Callable] = None,
+                 protocol: Optional[ProtocolSpec] = None,
+                 options: Optional[dict] = None):
         self.env = env
         self.dc_id = dc_id
         self.n_dcs = n_dcs
-        self.config = config
         self.ring = ring
         cal = calibration or Calibration()
         self.calibration = cal
         self.metrics = metrics or NullMetrics()
-        rng = env.rng.stream(f"clocks/dc{dc_id}")
-
-        # -- partitions -------------------------------------------------
-        self.partitions: list[EunomiaPartition] = []
-        for index in range(n_partitions):
-            clock = PhysicalClock.random(env, rng)
-            if ntp is not None:
-                ntp.manage(clock)
-            partition = EunomiaPartition(
-                env, f"dc{dc_id}/p{index}", dc_id, index, n_dcs,
-                clock, config, calibration=cal, metrics=self.metrics,
-            )
-            self.partitions.append(partition)
-
-        # -- Eunomia stabilizer complex (any of the four shapes) -----------
-        self.stack = build_stabilizer_stack(
-            env, dc_id, n_partitions, config, cal, metrics=self.metrics,
-            tree_factory=tree_factory, name_prefix=f"dc{dc_id}/",
+        if protocol is None:
+            if options is not None:
+                raise TypeError(
+                    "options= requires protocol=; the legacy EunomiaKV "
+                    "signature takes config=/tree_factory= directly")
+            protocol = _EUNOMIA
+            options = {"config": config or EunomiaConfig(),
+                       "tree_factory": tree_factory}
+        self.protocol = protocol
+        self.site = SiteContext(
+            env=env, dc_id=dc_id, n_dcs=n_dcs, n_partitions=n_partitions,
+            ring=ring, calibration=cal, metrics=self.metrics, ntp=ntp,
+            options=options if options is not None else {},
         )
-        self.eunomia_replicas = self.stack.replicas
-        self.shards = self.stack.shards
-        self.coordinators = self.stack.coordinators
+        self.plan = protocol.build_site(self.site)
+        self.partitions = self.plan.partitions
+        self.extras = self.plan.extras
+        self.receiver = self.plan.receiver
+        self.relays = self.plan.relays
+
+        # -- Eunomia introspection sugar (empty for other protocols) -------
+        stack = self.plan.stack
+        self.stack = stack
+        self.config = options.get("config") if options else None
+        self.eunomia_replicas = stack.replicas if stack else []
+        self.shards = stack.shards if stack else []
+        self.coordinators = stack.coordinators if stack else []
         #: the single coordinator of an unreplicated sharded deployment
         #: (None otherwise; kept for ablation/test introspection)
         self.coordinator = (self.coordinators[0]
                             if len(self.coordinators) == 1 else None)
-        self.replica_groups = self.stack.groups
-        self.shard_map = self.stack.shard_map
-
-        # -- receiver -----------------------------------------------------
-        self.receiver = Receiver(
-            env, f"dc{dc_id}/receiver", dc_id, n_dcs,
-            check_interval=config.receiver_check_interval,
-            calibration=cal, metrics=self.metrics,
-        )
-        self.receiver.set_partitions(ring, self.partitions)
-
-        # -- partition → stabilizer wiring (§5 tree optional) --------------
-        self.relays = self.stack.wire_uplinks(self.partitions)
+        self.replica_groups = stack.groups if stack else []
+        self.shard_map = stack.shard_map if stack else None
 
     # ------------------------------------------------------------------
     # Cross-datacenter wiring
@@ -94,45 +163,52 @@ class Datacenter:
         """Wire this datacenter to a remote one (directional; call both ways)."""
         if other.dc_id == self.dc_id:
             raise ValueError("cannot connect a datacenter to itself")
-        for propagator in self.propagators():
-            propagator.add_destination(other.receiver)
+        if other.receiver is not None:
+            for propagator in self.propagators():
+                propagator.add_destination(other.receiver)
         for mine, theirs in zip(self.partitions, other.partitions):
             mine.set_sibling(other.dc_id, theirs)
 
     def propagators(self) -> list:
-        """The processes that ship stable runs to remote receivers."""
-        return self.stack.propagators()
+        """The processes that ship ordered streams to remote receivers."""
+        return self.plan.propagators
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         for partition in self.partitions:
-            partition.start()
+            start = getattr(partition, "start", None)
+            if start is not None:
+                start()
         for relay in self.relays:
             relay.start()
-        for proc in self.stack.processes():
-            proc.start()
-        self.receiver.start()
+        for proc in self.extras:
+            start = getattr(proc, "start", None)
+            if start is not None:
+                start()
+        if self.receiver is not None:
+            self.receiver.start()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def leader(self):
-        """The process shipping stable runs: the plain service, the leading
-        replica, or the (leading replica's) shard coordinator."""
-        return self.stack.leader()
+        """The process shipping this site's ordered stream (protocol-defined:
+        the plain service, the leading replica, the leading replica's shard
+        coordinator, or the sequencer)."""
+        return self.protocol.leader(self.plan)
 
     def store_snapshot(self) -> dict:
         """Union of all partition stores: key → (ts, origin, value)."""
         merged: dict = {}
         for partition in self.partitions:
-            merged.update(partition.store.snapshot())
+            merged.update(partition.datastore().snapshot())
         return merged
 
     def fingerprint(self) -> int:
         """Order-independent hash of the whole datacenter's data."""
         acc = 0
         for partition in self.partitions:
-            acc ^= partition.store.fingerprint()
+            acc ^= partition.datastore().fingerprint()
         return acc

@@ -1,28 +1,37 @@
-"""EunomiaKV: the full geo-replicated deployment (the paper's prototype).
+"""The geo-replicated deployment spine, shared by every protocol.
 
-:func:`build_eunomia_system` assembles M datacenters over the paper's WAN
-topology, with NTP-disciplined drifting clocks, per-DC Eunomia services
-(optionally replicated), receivers, and closed-loop client sessions.  The
-returned :class:`GeoSystem` is the object examples and the benchmark harness
-interact with:
+:func:`build_geo_system` assembles M datacenters over the paper's WAN
+topology — NTP-disciplined drifting clocks, a consistent-hash ring,
+closed-loop client sessions, pairwise receiver/sibling wiring — and asks
+the named :class:`~repro.core.protocols.ProtocolSpec` plugin for the
+protocol-specific pieces of each site.  Every protocol in the registry
+(EunomiaKV and all of the paper's baselines) deploys over this one frame,
+so every measured difference is protocol, not plumbing:
 
-    system = build_eunomia_system(GeoSystemSpec(seed=1), WorkloadSpec())
+    system = build_geo_system("gentlerain", GeoSystemSpec(seed=1),
+                              WorkloadSpec())
     system.run(duration=10.0)
     print(system.total_throughput())
 
-Baseline systems (:mod:`repro.baselines`) return the same facade, so every
-experiment script treats protocols uniformly.
+:func:`build_eunomia_system` is the EunomiaKV-flavored wrapper the
+examples use; the baseline wrappers live in :mod:`repro.baselines`.  All
+return the same :class:`GeoSystem` facade, so every experiment script
+treats protocols uniformly — including failure injection:
+``system.failures()`` hands out the system's
+:class:`~repro.sim.failure.FailureSchedule`, armed at start, for any
+protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from ..calibration import Calibration
 from ..clocks.ntp import NtpSynchronizer
 from ..core.client import SessionClient
 from ..core.config import EunomiaConfig
+from ..core.protocols import ProtocolSpec, get_protocol
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics import MetricsHub, steady_window, throughput
 from ..sim.env import Environment
@@ -31,7 +40,8 @@ from ..sim.network import Network
 from ..workload.generator import WorkloadSpec
 from .datacenter import Datacenter
 
-__all__ = ["GeoSystemSpec", "GeoSystem", "build_eunomia_system"]
+__all__ = ["GeoSystemSpec", "GeoSystem", "build_geo_system",
+           "build_eunomia_system"]
 
 
 @dataclass
@@ -65,6 +75,7 @@ class GeoSystem:
         self._started = False
         self._run_start = 0.0
         self._run_end = 0.0
+        self._failures = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -77,6 +88,25 @@ class GeoSystem:
             dc.start()
         for client in self.clients:
             client.start()
+        if self._failures is not None:
+            self._failures.arm()
+
+    def failures(self):
+        """This deployment's :class:`~repro.sim.failure.FailureSchedule`.
+
+        One shared schedule per system, armed automatically at
+        :meth:`start` — so crash/recover timelines apply uniformly to any
+        protocol's processes (partitions, stabilizers, sequencers):
+
+            system.failures().crash_at(1.0, system.datacenters[0].partitions[1])
+        """
+        if self._failures is None:
+            from ..sim.failure import FailureSchedule
+
+            self._failures = FailureSchedule(self.env)
+            if self._started:
+                self._failures.arm()
+        return self._failures
 
     def run(self, duration: float) -> None:
         """Start (if needed) and advance the simulation ``duration`` seconds."""
@@ -121,6 +151,63 @@ class GeoSystem:
         return [dc.store_snapshot() for dc in self.datacenters]
 
 
+def build_geo_system(protocol: Union[str, ProtocolSpec],
+                     spec: GeoSystemSpec,
+                     workload: WorkloadSpec,
+                     metrics: Optional[MetricsHub] = None,
+                     history=None,
+                     **options) -> GeoSystem:
+    """Construct a complete deployment of any registered protocol.
+
+    This is the one spine every protocol deploys over: environment, WAN
+    topology, NTP discipline, ring, per-site plugin build, pairwise
+    receiver/sibling wiring, and identical closed-loop clients.
+    ``options`` are protocol tunables, normalized once by the plugin's
+    :meth:`~repro.core.protocols.ProtocolSpec.prepare` (e.g. ``config=``
+    for EunomiaKV, ``timings=``/``pending_backend=`` for the GST stores,
+    ``chain_length=`` for the chain-replicated sequencer).
+    """
+    proto = get_protocol(protocol) if isinstance(protocol, str) else protocol
+    unknown = set(options) - set(proto.option_names())
+    if unknown:
+        raise TypeError(
+            f"unknown option(s) for protocol {proto.name!r}: "
+            f"{sorted(unknown)}; it understands "
+            f"{sorted(proto.option_names()) or 'no options'}")
+    options = proto.prepare(spec, dict(options))
+    metrics = metrics or MetricsHub()
+    env = Environment(seed=spec.seed)
+    Network(env, spec.topology())
+    ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
+    ring = ConsistentHashRing(spec.partitions_per_dc)
+
+    datacenters = [
+        Datacenter(env, dc_id, spec.n_dcs, spec.partitions_per_dc, ring,
+                   calibration=spec.calibration, metrics=metrics, ntp=ntp,
+                   protocol=proto, options=options)
+        for dc_id in range(spec.n_dcs)
+    ]
+    for a in datacenters:
+        for b in datacenters:
+            if a is not b:
+                a.connect(b)
+
+    built = workload.build()
+    n_entries = proto.client_entries(spec.n_dcs)
+    clients = []
+    for dc in datacenters:
+        for c in range(spec.clients_per_dc):
+            clients.append(SessionClient(
+                env, f"dc{dc.dc_id}/client{c}", dc.dc_id,
+                n_entries=n_entries, partitions=dc.partitions, ring=ring,
+                workload=built, calibration=spec.calibration,
+                metrics=metrics, think_time=workload.think_time,
+                history=history,
+            ))
+    return GeoSystem(env, spec, metrics, datacenters, clients,
+                     protocol=proto.name)
+
+
 def build_eunomia_system(spec: GeoSystemSpec,
                          workload: WorkloadSpec,
                          config: Optional[EunomiaConfig] = None,
@@ -133,35 +220,6 @@ def build_eunomia_system(spec: GeoSystemSpec,
     tree structure — the §6 ablation hook; otherwise
     ``config.buffer_backend`` selects the strategy (``"runs"`` by default).
     """
-    config = config or EunomiaConfig()
-    config.validate()
-    metrics = metrics or MetricsHub()
-    env = Environment(seed=spec.seed)
-    Network(env, spec.topology())
-    ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
-    ring = ConsistentHashRing(spec.partitions_per_dc)
-
-    datacenters = [
-        Datacenter(env, dc_id, spec.n_dcs, spec.partitions_per_dc, ring,
-                   config, calibration=spec.calibration, metrics=metrics,
-                   ntp=ntp, tree_factory=tree_factory)
-        for dc_id in range(spec.n_dcs)
-    ]
-    for a in datacenters:
-        for b in datacenters:
-            if a is not b:
-                a.connect(b)
-
-    built = workload.build()
-    clients = []
-    for dc in datacenters:
-        for c in range(spec.clients_per_dc):
-            clients.append(SessionClient(
-                env, f"dc{dc.dc_id}/client{c}", dc.dc_id,
-                n_entries=spec.n_dcs, partitions=dc.partitions, ring=ring,
-                workload=built, calibration=spec.calibration,
-                metrics=metrics, think_time=workload.think_time,
-                history=history,
-            ))
-    return GeoSystem(env, spec, metrics, datacenters, clients,
-                     protocol="eunomia")
+    return build_geo_system("eunomia", spec, workload, metrics=metrics,
+                            history=history, config=config,
+                            tree_factory=tree_factory)

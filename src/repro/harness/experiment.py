@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..baselines import build_system
-from ..geo.system import GeoSystem, GeoSystemSpec
+from ..geo.system import GeoSystem, GeoSystemSpec, build_geo_system
 from ..metrics import percentile
 from ..workload.generator import WorkloadSpec
 
@@ -15,8 +12,11 @@ __all__ = ["run_geo", "visibility_p"]
 def run_geo(protocol: str, spec: GeoSystemSpec, workload: WorkloadSpec,
             duration: float, drain: float = 0.0, history=None,
             **kwargs) -> GeoSystem:
-    """Build a deployment, run it for ``duration`` seconds, maybe drain."""
-    system = build_system(protocol, spec, workload, history=history, **kwargs)
+    """Build a deployment of any registered protocol (one spine for all —
+    every figure's cross-protocol comparison is plumbing-identical by
+    construction), run it for ``duration`` seconds, maybe drain."""
+    system = build_geo_system(protocol, spec, workload, history=history,
+                              **kwargs)
     system.run(duration)
     if drain > 0.0:
         system.quiesce(drain)

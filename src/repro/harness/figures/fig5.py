@@ -21,7 +21,12 @@ from ..report import FigureResult
 
 __all__ = ["Fig5Params", "run"]
 
-PROTOCOLS = ("eventual", "eunomia", "gentlerain", "cure")
+# The figure's systems, in the paper's order — every name resolves in the
+# protocol registry, so each column deploys through the one shared spine.
+from ...core.protocols import PROTOCOL_ORDER
+
+PROTOCOLS = tuple(p for p in PROTOCOL_ORDER
+                  if p in ("eventual", "eunomia", "gentlerain", "cure"))
 
 
 @dataclass

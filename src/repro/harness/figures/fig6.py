@@ -24,7 +24,12 @@ from ..report import FigureResult
 
 __all__ = ["Fig6Params", "run"]
 
-PROTOCOLS = ("eunomia", "gentlerain", "cure")
+# Registry-ordered subset: the causal stores whose visibility the figure
+# compares, each deployed through the one shared spine.
+from ...core.protocols import PROTOCOL_ORDER
+
+PROTOCOLS = tuple(p for p in PROTOCOL_ORDER
+                  if p in ("eunomia", "gentlerain", "cure"))
 PAIRS = {"dc1->dc2": (0, 1), "dc2->dc3": (1, 2)}
 
 

@@ -28,6 +28,7 @@ class _Action:
     time: float
     fn: Callable[[], Any]
     label: str
+    armed: bool = False
 
 
 class FailureSchedule:
@@ -36,6 +37,7 @@ class FailureSchedule:
     def __init__(self, env: Environment):
         self.env = env
         self._actions: list[_Action] = []
+        self._armed = False
         self.log: list[tuple[float, str]] = []
 
     def crash_at(self, time: float, process: Process,
@@ -80,17 +82,36 @@ class FailureSchedule:
                        f"recover {group.name} shard {shard_id}")
 
     def at(self, time: float, fn: Callable[[], Any], label: str = "") -> "FailureSchedule":
-        """Run an arbitrary action at ``time`` (builder style, returns self)."""
-        self._actions.append(_Action(time, fn, label or getattr(fn, "__name__", "action")))
+        """Run an arbitrary action at ``time`` (builder style, returns self).
+
+        Actions added after :meth:`arm` are scheduled immediately, so a
+        schedule can keep growing mid-run; a late addition whose time is
+        already in the past fails loudly (the event loop rejects it)
+        rather than silently never firing.
+        """
+        action = _Action(time, fn,
+                         label or getattr(fn, "__name__", "action"))
+        self._actions.append(action)
+        if self._armed:
+            self._schedule(action)
         return self
 
+    def _schedule(self, action: _Action) -> None:
+        action.armed = True
+
+        def fire() -> None:
+            self.log.append((self.env.now, action.label))
+            action.fn()
+
+        self.env.loop.schedule_at(action.time, fire)
+
     def arm(self) -> None:
-        """Schedule every recorded action on the event loop."""
+        """Schedule every recorded action on the event loop (idempotent:
+        re-arming schedules only actions not yet armed)."""
+        self._armed = True
         for action in self._actions:
-            def fire(a: _Action = action) -> None:
-                self.log.append((self.env.now, a.label))
-                a.fn()
-            self.env.loop.schedule_at(action.time, fire)
+            if not action.armed:
+                self._schedule(action)
 
 
 @dataclass

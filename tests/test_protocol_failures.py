@@ -1,0 +1,147 @@
+"""Cross-protocol failure scenarios over the shared spine.
+
+Before the single-spine refactor the baselines deployed over their own
+frame, cut off from :class:`repro.sim.failure.FailureSchedule` — a
+baseline under a crash schedule was unbuildable.  Now any protocol's
+processes are schedulable through ``system.failures()``; these tests
+crash and recover baseline *partitions* mid-run and assert the stores
+keep their promises:
+
+* **eventual** — a crash-stop partition loses the remote updates shipped
+  while it was down (no recovery log), but the protocol promises nothing
+  about them; sessions never observe a violation.
+* **GentleRain** — the crashed partition's stale report freezes the
+  datacenter-wide GST (the min spans *all* partitions), stalling remote
+  visibility; on recovery its periodic machinery re-arms, the GST thaws
+  past the freeze point, and every recorded session still satisfies the
+  causal session guarantees.
+
+The chain-replicated sequencer test exercises the other new cross-
+protocol axis: ``chain_length`` builds the §7.1 fault-tolerant sequencer
+as a full end-to-end deployment on the same spine.
+"""
+
+import pytest
+
+from repro.baselines import build_system
+from repro.checker import CausalChecker, SessionHistory
+from repro.geo.system import GeoSystemSpec
+from repro.workload import WorkloadSpec
+
+SPEC = GeoSystemSpec(n_dcs=3, partitions_per_dc=2, clients_per_dc=3, seed=23)
+WL = WorkloadSpec(read_ratio=0.75, n_keys=48)
+
+CRASH_AT, RECOVER_AT = 0.8, 1.6
+
+
+def run_with_partition_crash(protocol, **kwargs):
+    history = SessionHistory()
+    system = build_system(protocol, SPEC, WL, history=history, **kwargs)
+    # partition 1 of dc0: not the GST aggregator (index 0), so the
+    # datacenter keeps aggregating — from a stale report — while it's down
+    victim = system.datacenters[0].partitions[1]
+    schedule = system.failures()
+    schedule.crash_at(CRASH_AT, victim)
+    schedule.recover_at(RECOVER_AT, victim)
+    probes = {}
+    schedule.at(RECOVER_AT - 0.01,
+                lambda: probes.__setitem__("summary", getattr(
+                    victim, "summary", None)),
+                "probe summary before recovery")
+    system.run(3.5)
+    system.quiesce(2.5)
+    return system, history, victim, probes
+
+
+def test_eventual_survives_partition_crash():
+    system, history, victim, _ = run_with_partition_crash("eventual")
+    assert [(t, label) for t, label in system.failures().log
+            if not label.startswith("probe")] == [
+        (CRASH_AT, f"crash {victim.name}"),
+        (RECOVER_AT, f"recover {victim.name}"),
+    ]
+    assert not victim.crashed
+    assert system.total_throughput() > 0
+    # sessions on the surviving partitions kept completing operations
+    # throughout the outage and after recovery
+    assert any(r.time > RECOVER_AT for c in history.clients()
+               for r in history.session(c))
+    # eventual exposes no causal metadata, so there is nothing to violate —
+    # but the recorded histories must still be internally consistent
+    assert CausalChecker(history).check() == []
+    assert CausalChecker(history).check_write_read_pairs() == []
+
+
+def test_gentlerain_survives_partition_crash():
+    system, history, victim, probes = run_with_partition_crash("gentlerain")
+    assert not victim.crashed
+    assert system.total_throughput() > 0
+    checker = CausalChecker(history)
+    assert checker.check() == []
+    assert checker.check_write_read_pairs() == []
+    # the victim resumed stabilization: its GST advanced past the value it
+    # held when recovery fired (periodics re-armed by GstPartition.recover)
+    assert victim.summary > probes["summary"]
+    # and remote updates deferred behind the frozen GST did drain
+    assert victim.pending_count() == 0
+
+
+def test_gentlerain_gst_freezes_while_partition_down():
+    """The datacenter-wide min cannot advance past a dead partition's last
+    report — the stall *is* GentleRain's failure mode, and the spine now
+    lets us measure it."""
+    system = build_system("gentlerain", SPEC, WL)
+    victim = system.datacenters[0].partitions[1]
+    sibling = system.datacenters[0].partitions[0]
+    samples = {}
+    schedule = system.failures()
+    schedule.crash_at(CRASH_AT, victim)
+    schedule.at(CRASH_AT + 0.2,
+                lambda: samples.__setitem__("frozen", sibling.summary),
+                "sample frozen GST")
+    schedule.at(CRASH_AT + 1.0,
+                lambda: samples.__setitem__("later", sibling.summary),
+                "sample GST still frozen")
+    schedule.recover_at(RECOVER_AT + 0.5, victim)
+    system.run(3.5)
+    assert samples["later"] == samples["frozen"]        # frozen while down
+    assert sibling.summary > samples["frozen"]          # thawed after rejoin
+
+
+def test_failure_actions_added_mid_run_still_fire():
+    """system.failures() arms at start; actions added *after* that (or
+    between run() windows) must schedule immediately, not vanish."""
+    system = build_system("eventual", SPEC, WL)
+    system.run(0.5)
+    victim = system.datacenters[0].partitions[1]
+    system.failures().crash_at(1.0, victim)
+    system.run(1.0)
+    assert victim.crashed
+    system.failures().recover_at(system.env.now + 0.2, victim)
+    system.run(0.5)
+    assert not victim.crashed
+    assert [label for _, label in system.failures().log] == [
+        f"crash {victim.name}", f"recover {victim.name}"]
+
+
+@pytest.mark.parametrize("chain_length", [1, 3])
+def test_chain_sequencer_end_to_end(chain_length):
+    """sseq × chain_length: the §7.1 chain-replicated sequencer as a full
+    deployment — converges and passes the causal checker like plain sseq."""
+    history = SessionHistory()
+    system = build_system("sseq", SPEC, WL, history=history,
+                          chain_length=chain_length)
+    system.run(2.0)
+    system.quiesce(2.5)
+    assert system.converged()
+    assert system.total_throughput() > 0
+    checker = CausalChecker(history)
+    assert checker.check() == []
+    assert checker.check_write_read_pairs() == []
+    extras = system.datacenters[0].extras
+    assert len(extras) == chain_length
+    if chain_length > 1:
+        # every node logged every assignment (the replication invariant)
+        head, tail = extras[0], extras[-1]
+        assert head.is_head and tail.is_tail
+        assert len(head.log) == len(tail.log) > 0
