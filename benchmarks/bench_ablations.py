@@ -30,7 +30,7 @@ import pytest
 
 from repro.calibration import Calibration
 from repro.core import EunomiaConfig, TreeRelay
-from repro.geo.system import GeoSystemSpec, build_eunomia_system
+from repro.geo.system import GeoSystemSpec, build_geo_system
 from repro.harness.loadgen import build_eunomia_rig
 from repro.harness.report import format_table
 from repro.metrics import percentile
@@ -48,7 +48,7 @@ def bench_batching_interval_sweep(benchmark):
         for interval_ms in (1, 5, 20):
             config = EunomiaConfig(batch_interval=interval_ms / 1e3,
                                    heartbeat_interval=interval_ms / 1e3)
-            system = build_eunomia_system(SPEC, WL, config=config)
+            system = build_geo_system("eunomia", SPEC, WL, config=config)
             system.run(4.0)
             rows.append((interval_ms, system.total_throughput(),
                          percentile(system.visibility_extra_ms(0, 1), 90)))
@@ -70,9 +70,9 @@ def bench_data_metadata_separation(benchmark):
         out = {}
         for separated in (True, False):
             config = EunomiaConfig(separate_data_metadata=separated)
-            system = build_eunomia_system(
-                SPEC, WorkloadSpec(read_ratio=0.9, n_keys=500,
-                                   value_bytes=1000),
+            system = build_geo_system(
+                "eunomia", SPEC,
+                WorkloadSpec(read_ratio=0.9, n_keys=500, value_bytes=1000),
                 config=config)
             system.run(3.0)
             eunomia = system.datacenters[0].eunomia_replicas[0]
@@ -241,10 +241,11 @@ def bench_cure_pending_backend_sweep(benchmark):
     wl = WorkloadSpec(read_ratio=0.75, n_keys=500)
 
     def run_backend(backend):
-        from repro.baselines import build_cure_system
+        from repro.geo.system import build_geo_system
 
         config_start = time.perf_counter()
-        system = build_cure_system(spec, wl, pending_backend=backend)
+        system = build_geo_system("cure", spec, wl,
+                                  pending_backend=backend)
         system.run(3.0)
         wall = time.perf_counter() - config_start
         system.quiesce(2.0)

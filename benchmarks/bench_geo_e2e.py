@@ -17,7 +17,7 @@ collapses without tripping on runner noise.
 
 import time
 
-from repro.geo.system import GeoSystemSpec, build_eunomia_system
+from repro.geo.system import GeoSystemSpec, build_geo_system
 from repro.workload import WorkloadSpec
 
 SPEC = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=8, seed=31)
@@ -29,7 +29,7 @@ def bench_geo_small_e2e(benchmark):
 
     def run():
         start = time.perf_counter()
-        system = build_eunomia_system(SPEC, WL)
+        system = build_geo_system("eunomia", SPEC, WL)
         system.run(2.0)
         wall = time.perf_counter() - start
         return wall, system.total_throughput()

@@ -37,7 +37,7 @@ Run:
 
 from repro import Calibration, EunomiaConfig, GeoSystemSpec, WorkloadSpec
 from repro.checker import CausalChecker, SessionHistory
-from repro.geo import build_eunomia_system
+from repro.geo import build_geo_system
 from repro.harness.loadgen import build_eunomia_rig
 from repro.metrics import windowed_rate
 
@@ -50,8 +50,9 @@ def act1_unsharded() -> None:
     spec = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=6,
                          seed=1717)
     history = SessionHistory()
-    system = build_eunomia_system(spec, WorkloadSpec(read_ratio=0.75),
-                                  config=config, history=history)
+    system = build_geo_system("eunomia", spec,
+                              WorkloadSpec(read_ratio=0.75),
+                              config=config, history=history)
     system.start()
 
     replicas = system.datacenters[0].eunomia_replicas
@@ -90,8 +91,9 @@ def act2_sharded() -> None:
     spec = GeoSystemSpec(n_dcs=3, partitions_per_dc=4, clients_per_dc=6,
                          seed=2727)
     history = SessionHistory()
-    system = build_eunomia_system(spec, WorkloadSpec(read_ratio=0.75),
-                                  config=config, history=history)
+    system = build_geo_system("eunomia", spec,
+                              WorkloadSpec(read_ratio=0.75),
+                              config=config, history=history)
     system.start()
 
     dc0 = system.datacenters[0]

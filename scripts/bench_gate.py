@@ -157,14 +157,19 @@ def main(argv: list[str] | None = None) -> int:
                              "stabilizers ride on; pass '' to gate all)")
     parser.add_argument("--gate-wide",
                         default="bench_opbuffer_backend_overload_rig"
-                                "|bench_geo_small_e2e",
+                                "|bench_geo_small_e2e"
+                                "|bench_fig1_motivation_tradeoff_full",
                         help="regex: benchmarks gated at the wide "
                              "threshold — the end-to-end suites (overload "
                              "rig: ~±10%% run-to-run; small geo e2e run: "
                              "±1.7%% stdev / 4.8%% peak-to-peak on an idle "
                              "machine, but CI runners are far noisier; "
                              "both measured before gating, per the "
-                             "ROADMAP); pass '' to disable")
+                             "ROADMAP) plus the full-grid Figure 1 run "
+                             "the batched sim core made affordable in CI "
+                             "(single-round wall clock, so only the wide "
+                             "threshold is meaningful); pass '' to "
+                             "disable")
     parser.add_argument("--wide-threshold", type=float, default=0.5,
                         help="max allowed median slowdown for --gate-wide "
                              "benchmarks (default 0.5 = 50%%, sized to the "

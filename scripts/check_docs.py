@@ -17,7 +17,11 @@ Checks, with zero dependencies beyond the stdlib:
 4. every protocol name in the ``core/protocols.py`` registry table is
    documented in both README.md and docs/ARCHITECTURE.md, so a newly
    registered plugin cannot ship undocumented (and a renamed one cannot
-   leave stale docs behind).
+   leave stale docs behind);
+5. every recognized value of the ablation-knob name tuples — the
+   scheduler backends (``sim/env.py``) and WAL codecs
+   (``durability/wal.py``) — is documented in both README.md and
+   docs/ARCHITECTURE.md, same rationale as the protocol registry.
 
 Exit code 0 when clean; prints every violation and exits 1 otherwise.
 """
@@ -142,19 +146,57 @@ def check_protocols_documented() -> list[str]:
     return errors
 
 
+#: knob-name tuples whose every value must appear (code-formatted) in the
+#: docs: (source file, tuple variable name)
+KNOB_TUPLES = [
+    (REPO / "src" / "repro" / "sim" / "env.py", "SCHEDULER_BACKENDS"),
+    (REPO / "src" / "repro" / "durability" / "wal.py", "WAL_CODECS"),
+]
+
+
+def knob_values(path: Path, var: str) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    match = re.search(rf'^{var}\s*=\s*\(([^)]*)\)', text, re.MULTILINE)
+    if not match:
+        return []
+    return re.findall(r'"(\w+)"', match.group(1))
+
+
+def check_knobs_documented() -> list[str]:
+    errors = []
+    for path, var in KNOB_TUPLES:
+        values = knob_values(path, var)
+        if not values:
+            errors.append(f"{path.relative_to(REPO)}: knob tuple {var} not "
+                          "found (renamed or reshaped?)")
+            continue
+        for doc in (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md"):
+            text = doc.read_text(encoding="utf-8")
+            for value in values:
+                if f'`"{value}"`' not in text and f"`{value}`" not in text:
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: {var} value "
+                        f"{value!r} is undocumented (expected `\"{value}\"` "
+                        "in code format)")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_example_headers()
-              + check_protocol_modules() + check_protocols_documented())
+              + check_protocol_modules() + check_protocols_documented()
+              + check_knobs_documented())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
+    n_knobs = sum(len(knob_values(path, var)) for path, var in KNOB_TUPLES)
     print(f"check_docs: links ok ({checked}); "
           f"{len(list((REPO / 'examples').glob('*.py')))} example headers ok; "
           f"{len(PROTOCOL_MODULES)} protocol modules ok; "
-          f"{len(registered_protocols())} registered protocols documented")
+          f"{len(registered_protocols())} registered protocols documented; "
+          f"{n_knobs} knob values documented")
     return 0
 
 

@@ -23,6 +23,8 @@ why per-origin runs still work.
 
 from __future__ import annotations
 
+import warnings
+
 from collections import deque
 from typing import Optional
 
@@ -204,7 +206,17 @@ def build_cure_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                       metrics: Optional[MetricsHub] = None,
                       history=None,
                       pending_backend: str = "runs") -> GeoSystem:
-    """Assemble a Cure deployment on the shared frame."""
+    """Assemble a Cure deployment on the shared frame.
+
+    .. deprecated::
+        Call ``build_geo_system("cure", ...)``; this wrapper forwards
+        verbatim and will be removed.
+    """
+    warnings.warn(
+        "build_cure_system is deprecated; use "
+        "build_geo_system('cure', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system("cure", spec, workload, metrics=metrics,
                             history=history, timings=timings,
                             pending_backend=pending_backend)

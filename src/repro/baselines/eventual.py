@@ -8,6 +8,8 @@ this baseline, exactly as the paper normalizes its Figures 1 and 5.
 
 from __future__ import annotations
 
+import warnings
+
 from typing import Optional
 
 from ..calibration import Calibration
@@ -63,8 +65,7 @@ class EventualPartition(EunomiaPartition):
         self.store.put(msg.key, Versioned(msg.value, ts, self.dc_id, ()))
         self.local_updates += 1
         data = RemoteData(update)
-        for sibling in self.siblings.values():
-            self.send(sibling, data)
+        self.multicast(self.siblings.values(), data)
         self.send(src, ClientUpdateReply((), msg.request_id))
 
     def on_remote_data(self, msg: RemoteData, src: Process) -> None:
@@ -117,6 +118,16 @@ def build_eventual_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                           config: Optional[EunomiaConfig] = None,
                           metrics: Optional[MetricsHub] = None,
                           history=None) -> GeoSystem:
-    """Assemble the eventually consistent deployment."""
+    """Assemble the eventually consistent deployment.
+
+    .. deprecated::
+        Call ``build_geo_system("eventual", ...)``; this wrapper forwards
+        verbatim and will be removed.
+    """
+    warnings.warn(
+        "build_eventual_system is deprecated; use "
+        "build_geo_system('eventual', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system("eventual", spec, workload, metrics=metrics,
                             history=history, config=config)

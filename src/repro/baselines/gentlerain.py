@@ -28,6 +28,8 @@ classic global binary heap as an ablation.
 
 from __future__ import annotations
 
+import warnings
+
 import heapq
 from typing import Optional
 
@@ -141,7 +143,17 @@ def build_gentlerain_system(spec: GeoSystemSpec, workload: WorkloadSpec,
                             metrics: Optional[MetricsHub] = None,
                             history=None,
                             pending_backend: str = "runs") -> GeoSystem:
-    """Assemble a GentleRain deployment on the shared frame."""
+    """Assemble a GentleRain deployment on the shared frame.
+
+    .. deprecated::
+        Call ``build_geo_system("gentlerain", ...)``; this wrapper forwards
+        verbatim and will be removed.
+    """
+    warnings.warn(
+        "build_gentlerain_system is deprecated; use "
+        "build_geo_system('gentlerain', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system("gentlerain", spec, workload, metrics=metrics,
                             history=history, timings=timings,
                             pending_backend=pending_backend)

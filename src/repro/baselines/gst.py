@@ -32,6 +32,8 @@ pieces are the partitions themselves and the per-DC aggregator wiring.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -175,8 +177,7 @@ class GstPartition(Process):
                                                self.dc_id, update.vts))
         self.local_updates += 1
         data = RemoteData(update)
-        for sibling in self.siblings.values():
-            self.send(sibling, data)
+        self.multicast(self.siblings.values(), data)
         self.send(src, ClientUpdateReply(update.vts, msg.request_id))
 
     def _stamp(self, msg: ClientUpdate) -> Update:
@@ -227,8 +228,7 @@ class GstPartition(Process):
         ts = max(self.clock.read_us(), self.hlc.last)
         self.hlc.observe(ts)
         beat = GstHeartbeat(self.dc_id, self.index, ts)
-        for sibling in self.siblings.values():
-            self.send(sibling, beat)
+        self.multicast(self.siblings.values(), beat)
 
     def on_gst_heartbeat(self, msg: GstHeartbeat, src: Process) -> None:
         if msg.ts > self.vv[msg.origin_dc]:
@@ -252,8 +252,7 @@ class GstPartition(Process):
         minimum = tuple(min(v[i] for v in values)
                         for i in range(self.summary_width))
         broadcast = GstBroadcast(minimum)
-        for partition in self.local_partitions:
-            self.send(partition, broadcast)
+        self.multicast(self.local_partitions, broadcast)
 
     def on_gst_broadcast(self, msg: GstBroadcast, src: Process) -> None:
         merged = vc_merge(self.summary, msg.value)
@@ -342,7 +341,16 @@ def build_gst_system(spec: GeoSystemSpec, workload: WorkloadSpec,
     The named flavors go through the registry (``build_geo_system(
     "gentlerain", ...)``); this entry point exists for ad-hoc flavor
     subclasses in tests and ablations.
+
+    .. deprecated::
+        Call ``build_geo_system(GstProtocol(cls), ...)`` directly; this
+        wrapper forwards verbatim and will be removed.
     """
+    warnings.warn(
+        "build_gst_system is deprecated; use "
+        "build_geo_system(GstProtocol(partition_cls), ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system(GstProtocol(partition_cls), spec, workload,
                             metrics=metrics, history=history,
                             timings=timings, **options)

@@ -18,6 +18,8 @@ in the paper, participates only in throughput measurements.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import replace
 from typing import Optional
 
@@ -98,8 +100,7 @@ class SeqPartition(EunomiaPartition):
         # stamp need not be known yet.  This is what gives sequencer-based
         # designs their near-optimal visibility.
         data = RemoteData(update)
-        for sibling in self.siblings.values():
-            self.send(sibling, data)
+        self.multicast(self.siblings.values(), data)
         if not self.synchronous:
             # A-Seq: answer immediately; the store is written (with a
             # provisional version) when the assignment arrives, so the
@@ -191,7 +192,16 @@ def build_seq_system(spec: GeoSystemSpec, workload: WorkloadSpec,
     ``chain_length > 1`` replicates each DC's sequencer as a chain — the
     paper's §7.1 fault-tolerant sequencer, now a first-class end-to-end
     deployment instead of a rig-only configuration.
+
+    .. deprecated::
+        Call ``build_geo_system("sseq", ...)`` / ``build_geo_system("aseq",
+        ...)``; this wrapper forwards verbatim and will be removed.
     """
+    warnings.warn(
+        "build_seq_system is deprecated; use "
+        "build_geo_system('sseq'/'aseq', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system("sseq" if synchronous else "aseq", spec,
                             workload, metrics=metrics, history=history,
                             config=config, chain_length=chain_length)

@@ -67,8 +67,7 @@ class Sequencer(Process):
     def _ship(self, update) -> None:
         """Propagate the ordered metadata stream to remote receivers."""
         batch = RemoteStableBatch(self.site, (update,))
-        for dest in self.destinations:
-            self.send(dest, batch)
+        self.multicast(self.destinations, batch)
 
 
 class ChainSequencerNode(Process):
@@ -134,8 +133,7 @@ class ChainSequencerNode(Process):
         if self.is_tail:
             self.metrics.mark(self.assign_mark, self.now)
             batch = RemoteStableBatch(self.site, (update,))
-            for dest in self.destinations:
-                self.send(dest, batch)
+            self.multicast(self.destinations, batch)
             self.send(requester, SeqReply(update.uid, update.vts))
         else:
             self.send(self.successor, ChainForward(update, requester))

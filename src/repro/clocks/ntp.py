@@ -27,20 +27,19 @@ class NtpSynchronizer:
         self.residual_us = residual_us
         self._clocks: list[PhysicalClock] = []
         self._rng = env.rng.stream("ntp")
-        self._armed = False
+        self._task = None
 
     def manage(self, clock: PhysicalClock) -> PhysicalClock:
         """Register ``clock`` for periodic correction; returns it unchanged."""
         self._clocks.append(clock)
-        if not self._armed:
-            self._armed = True
-            self.env.loop.schedule(self.interval, self._sync)
+        if self._task is None:
+            self._task = self.env.loop.schedule_periodic(self.interval,
+                                                         self._sync)
         return clock
 
     def _sync(self) -> None:
         for clock in self._clocks:
             clock.ntp_correct(self._rng.uniform(-self.residual_us, self.residual_us))
-        self.env.loop.schedule(self.interval, self._sync)
 
     def max_skew_us(self) -> float:
         """Largest pairwise skew across managed clocks right now."""

@@ -258,7 +258,8 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
         stack.recovery = RecoveryManager(disk)
         for proc in (*stack.shards, *stack.replicas):
             proc.attach_durability(
-                WriteAheadLog(f"{proc.name}.wal", disk),
+                WriteAheadLog(f"{proc.name}.wal", disk,
+                              codec=config.wal_codec),
                 CheckpointStore(f"{proc.name}.ckpt"),
                 stack.recovery,
                 append_op_cost=cal.cost("wal_append_op"),

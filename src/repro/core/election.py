@@ -63,8 +63,7 @@ class OmegaElection:
 
     def _broadcast(self) -> None:
         beat = ReplicaAlive(self.replica_id)
-        for peer in self._peers.values():
-            self.host.send(peer, beat)
+        self.host.multicast(self._peers.values(), beat)
         self._check_change()
 
     def on_alive(self, msg: ReplicaAlive) -> None:

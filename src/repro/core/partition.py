@@ -143,8 +143,7 @@ class EunomiaPartition(Process):
             # §5: Eunomia orders identifiers; payloads go partition→sibling.
             self.uplink.record(replace(update, value=None))
             data = RemoteData(update)
-            for sibling in self.siblings.values():
-                self.send(sibling, data)
+            self.multicast(self.siblings.values(), data)
         else:
             self.uplink.record(update)
         self.send(src, ClientUpdateReply(vts, msg.request_id))

@@ -357,8 +357,7 @@ class ShardCoordinator(Process):
         self.ops_stabilized += len(ops)
         self.metrics.mark_many(self.stable_mark, self.now, len(ops))
         batch = RemoteStableBatch(self.site, tuple(ops))
-        for dest in self.destinations:
-            self.send(dest, batch)
+        self.multicast(self.destinations, batch)
         self._post_propagate(ops, floors)
 
     def _post_propagate(self, ops: list, floors) -> None:
@@ -440,8 +439,7 @@ class ReplicatedShardCoordinator(ShardCoordinator):
     def request_state_transfer(self) -> None:
         """Ask surviving peers for their current shipped floors."""
         request = StateTransferRequest(self.replica_id)
-        for peer in self.peers:
-            self.send(peer, request)
+        self.multicast(self.peers, request)
         self.after(self.config.state_transfer_timeout,
                    self._state_transfer_timeout)
 
@@ -499,8 +497,7 @@ class ReplicatedShardCoordinator(ShardCoordinator):
         if not ops:
             return
         vector = ShardStableVector(floors)
-        for peer in self.peers:
-            self.send(peer, vector)
+        self.multicast(self.peers, vector)
 
     def on_shard_stable_vector(self, msg: ShardStableVector,
                                src: Process) -> None:

@@ -62,6 +62,7 @@ class EunomiaUplink:
         self._sent: dict[int, int] = {}        # replica pid -> max ts ever sent
         self._retx_due: dict[int, float] = {}  # replica pid -> next retx time
         self._nonft_last_sent = 0              # stream position, non-FT mode
+        self._tick_task = None
         self.ops_shipped = 0
         self.retransmissions = 0
         self.heartbeats_sent = 0
@@ -77,8 +78,15 @@ class EunomiaUplink:
             self._retx_due.setdefault(replica.pid, float("inf"))
 
     def start(self) -> None:
-        """Arm the periodic batch/heartbeat tick."""
-        self.host.after(self.host.batch_interval, self._tick)
+        """Arm the periodic batch/heartbeat tick.
+
+        The interval is a callable re-reading ``host.batch_interval`` before
+        every re-arm, so the Figure 7 straggler injector's runtime mutation
+        takes effect on the next tick — the behaviour the old hand-rolled
+        reschedule chain provided.
+        """
+        self._tick_task = self.host.periodic(
+            lambda: self.host.batch_interval, self._flush)
 
     # ------------------------------------------------------------------
     # Producer side (called by the host partition)
@@ -113,14 +121,6 @@ class EunomiaUplink:
     # ------------------------------------------------------------------
     # Periodic shipping
     # ------------------------------------------------------------------
-    def _tick(self) -> None:
-        try:
-            self._flush()
-        finally:
-            # Re-read the interval every round: the straggler injector
-            # mutates host.batch_interval at runtime.
-            self.host.after(self.host.batch_interval, self._tick)
-
     def _flush(self) -> None:
         if not self.replicas:
             return
@@ -209,8 +209,7 @@ class EunomiaUplink:
         self.heartbeats_sent += len(targets)
 
         def transmit() -> None:
-            for replica in targets:
-                self.host.send(replica, beat)
+            self.host.multicast(targets, beat)
 
         # Route through the host's service queue: batch transmissions are
         # queued there too, and a heartbeat sent directly would overtake a

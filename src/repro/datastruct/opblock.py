@@ -1,0 +1,105 @@
+"""Columnar (structure-of-arrays) record of one shipped update batch.
+
+Every hot ingestion path in the simulator receives the *same* shape of
+input: a batch of updates from one origin partition, timestamp-ascending by
+Property 2 and FIFO links.  Handling it op by op — attribute access, a
+``PartitionTime`` comparison, a WAL call, and a buffer insert per op — makes
+the Python interpreter the bottleneck long before the modelled costs do.
+
+:class:`OpBlock` is the batch's columnar view: parallel tuples of the fields
+the ingestion paths actually branch on (``origin``, ``ts``, ``seq``, ``key``,
+``size``) extracted in one pass, with the op payloads kept alongside for the
+consumers that eventually serialize them.  Because ``ts`` is a plain sorted
+tuple, the per-op control flow of Algorithm 3's NEW_OP loop collapses into
+two bisections:
+
+* :meth:`first_above` (PartitionTime dedup) finds where the new suffix
+  starts — everything before it is an at-least-once duplicate;
+* a second :meth:`first_above` at ``StableTime`` splits the accepted suffix
+  into ops that only advance PartitionTime and ops that enter the unstable
+  buffer — which then ingests them wholesale via
+  :meth:`repro.datastruct.runbuffer.RunBuffer.extend_run`.
+
+The same block serves bulk WAL staging
+(:meth:`repro.durability.wal.WriteAheadLog.stage_ops`) and any other
+consumer of per-origin monotone runs (the GentleRain/Cure deferred-update
+sets are ``RunBuffer``-backed and go through the same ``extend_run`` door).
+
+State-identical by construction: blocks never reorder, drop, or mutate ops —
+they only precompute the columns the per-op loop would have read anyway.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterable, Sequence
+
+__all__ = ["OpBlock"]
+
+
+class OpBlock:
+    """Parallel columns over one origin partition's timestamp-ascending ops."""
+
+    __slots__ = ("origin", "ts", "seq", "key", "size", "payload")
+
+    def __init__(self, origin: Sequence[int], ts: Sequence[int],
+                 seq: Sequence[int], key: Sequence, size: Sequence[int],
+                 payload: Sequence[Any]):
+        n = len(ts)
+        if not (len(origin) == len(seq) == len(key) == len(size)
+                == len(payload) == n):
+            raise ValueError("OpBlock columns must have equal length")
+        self.origin = tuple(origin)
+        self.ts = tuple(ts)
+        self.seq = tuple(seq)
+        self.key = tuple(key)
+        self.size = tuple(size)
+        self.payload = tuple(payload)
+
+    @classmethod
+    def from_updates(cls, ops: Iterable[Any]) -> "OpBlock":
+        """Columnarize update objects (one attribute pass per column)."""
+        ops = tuple(ops)
+        return cls(
+            origin=[op.partition_index for op in ops],
+            ts=[op.ts for op in ops],
+            seq=[op.seq for op in ops],
+            key=[op.key for op in ops],
+            size=[getattr(op, "size_bytes", 0) for op in ops],
+            payload=ops,
+        )
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __bool__(self) -> bool:
+        return bool(self.ts)
+
+    # ------------------------------------------------------------------
+    # Bisection helpers (the batched replacements for per-op branches)
+    # ------------------------------------------------------------------
+    def first_above(self, floor: int, lo: int = 0) -> int:
+        """Index of the first op with ``ts > floor`` (= len when none).
+
+        ``ts`` is ascending, so ops below the index are exactly those a
+        per-op ``ts <= floor`` check would have skipped.
+        """
+        return bisect_right(self.ts, floor, lo)
+
+    def total_bytes(self, start: int = 0) -> int:
+        """Sum of the ``size`` column from ``start`` on."""
+        return sum(self.size[start:])
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def run_entries(self, start: int = 0) -> list[tuple]:
+        """The ``(ts, origin, seq, op)`` run entries from ``start`` on.
+
+        This is the exact entry layout :class:`RunBuffer` stores and the
+        record layout the WAL stages, built in one ``zip`` pass instead of
+        a tuple allocation per ``add()``/``stage_op()`` call; feed the
+        result to ``extend_run`` / ``stage_ops``.
+        """
+        return list(zip(self.ts[start:], self.origin[start:],
+                        self.seq[start:], self.payload[start:]))

@@ -61,6 +61,19 @@ class TreeOpBuffer:
         self._tree.insert((ts, origin, seq), op)
         self.total_added += 1
 
+    def extend_run(self, entries: list) -> int:
+        """Bulk-append interface parity with :class:`RunBuffer`.
+
+        Trees gain nothing from batching — every key still pays its
+        O(log n) insert — so this is the plain loop; it exists so the
+        batched ingestion path is backend-agnostic.
+        """
+        insert = self._tree.insert
+        for ts, origin, seq, op in entries:
+            insert((ts, origin, seq), op)
+        self.total_added += len(entries)
+        return len(entries)
+
     def contains(self, ts: int, origin: int, seq: int) -> bool:
         return (ts, origin, seq) in self._tree
 

@@ -95,6 +95,44 @@ class RunBuffer:
         self._size += 1
         self.total_added += 1
 
+    def extend_run(self, entries: list) -> int:
+        """Bulk-append one origin's pre-built run entries.  O(n) total.
+
+        ``entries`` are ``(ts, origin, seq, op)`` tuples, all for the same
+        origin, timestamp-ascending — exactly what
+        :meth:`repro.datastruct.opblock.OpBlock.run_entries` produces.  One
+        validation pass checks the same contract :meth:`add` enforces per
+        call (single origin, strictly increasing ts extending the run
+        tail), then the run grows by a single ``deque.extend``.  Returns
+        the number of entries appended.
+        """
+        if not entries:
+            return 0
+        origin = entries[0][1]
+        last = self._tail.get(origin)
+        prev = last if last is not None else -1
+        for entry in entries:
+            if entry[1] != origin:
+                raise ValueError(
+                    f"extend_run entries mix origins {origin} and {entry[1]}"
+                )
+            if entry[0] <= prev:
+                raise ValueError(
+                    f"non-monotone extend_run for origin {origin}: "
+                    f"ts={entry[0]} does not exceed ts={prev} "
+                    f"— FIFO/Property 2 violated upstream"
+                )
+            prev = entry[0]
+        self._tail[origin] = prev
+        run = self._runs.get(origin)
+        if run is None:
+            run = self._runs[origin] = deque()
+        run.extend(entries)
+        n = len(entries)
+        self._size += n
+        self.total_added += n
+        return n
+
     def contains(self, ts: int, origin: int, seq: int) -> bool:
         """Membership test (diagnostics; O(run length), not a hot path)."""
         run = self._runs.get(origin)

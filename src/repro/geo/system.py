@@ -24,6 +24,7 @@ protocol.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
@@ -55,6 +56,11 @@ class GeoSystemSpec:
     rtt: Optional[RttMatrix] = None          # default: the paper's topology
     calibration: Calibration = field(default_factory=Calibration)
     ntp_residual_us: float = 100.0
+    #: event-loop backend (:data:`repro.sim.env.SCHEDULER_BACKENDS`):
+    #: ``"heap"`` (reference) or ``"wheel"`` (slotted time-wheel) — both
+    #: fire in identical (time, seq) order, so runs are bit-reproducible
+    #: across backends.
+    scheduler: str = "heap"
 
     def topology(self) -> RttMatrix:
         return self.rtt if self.rtt is not None else paper_topology(self.n_dcs)
@@ -176,7 +182,7 @@ def build_geo_system(protocol: Union[str, ProtocolSpec],
             f"{sorted(proto.option_names()) or 'no options'}")
     options = proto.prepare(spec, dict(options))
     metrics = metrics or MetricsHub()
-    env = Environment(seed=spec.seed)
+    env = Environment(seed=spec.seed, scheduler=spec.scheduler)
     Network(env, spec.topology())
     ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
     ring = ConsistentHashRing(spec.partitions_per_dc)
@@ -216,10 +222,20 @@ def build_eunomia_system(spec: GeoSystemSpec,
                          history=None) -> GeoSystem:
     """Construct a complete EunomiaKV deployment (not yet started).
 
+    .. deprecated::
+        Call ``build_geo_system("eunomia", ...)`` — one deployment spine,
+        protocol selected by name.  This wrapper forwards verbatim and will
+        be removed.
+
     ``tree_factory`` (when given) pins every stabilizer's buffer to that
     tree structure — the §6 ablation hook; otherwise
     ``config.buffer_backend`` selects the strategy (``"runs"`` by default).
     """
+    warnings.warn(
+        "build_eunomia_system is deprecated; use "
+        "build_geo_system('eunomia', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     return build_geo_system("eunomia", spec, workload, metrics=metrics,
                             history=history, config=config,
                             tree_factory=tree_factory)

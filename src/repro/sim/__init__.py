@@ -15,7 +15,7 @@ discrete-event simulator with
 """
 
 from .disk import DiskModel
-from .env import Environment
+from .env import DEFAULT_SCHEDULER, SCHEDULER_BACKENDS, Environment
 from .failure import FailureSchedule, Straggler
 from .latency import (
     PAPER_RTT_MS,
@@ -25,7 +25,13 @@ from .latency import (
     RttMatrix,
     paper_topology,
 )
-from .loop import Event, EventLoop, SimulationError
+from .loop import (
+    Event,
+    EventLoop,
+    PeriodicHandle,
+    SimulationError,
+    TimeWheelLoop,
+)
 from .network import Network
 from .process import CostModel, PeriodicTask, Process
 from .rng import RngRegistry
@@ -35,7 +41,11 @@ __all__ = [
     "Environment",
     "Event",
     "EventLoop",
+    "TimeWheelLoop",
+    "PeriodicHandle",
     "SimulationError",
+    "SCHEDULER_BACKENDS",
+    "DEFAULT_SCHEDULER",
     "Network",
     "Process",
     "CostModel",

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
-__all__ = ["Event", "EventLoop", "SimulationError"]
+__all__ = ["Event", "EventLoop", "PeriodicHandle", "SimulationError",
+           "TimeWheelLoop"]
 
 
 class SimulationError(RuntimeError):
@@ -67,6 +68,47 @@ class Event:
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} seq={self.seq} {name} {state}>"
+
+
+class PeriodicHandle:
+    """Cancellable handle for a repeating callback.
+
+    Returned by :meth:`EventLoop.schedule_periodic`.  The interval may be a
+    number of seconds or a zero-argument callable returning one — re-read
+    before every re-arm, so callers can change the period at runtime (the
+    Figure 7 straggler injector mutates a host's batch interval this way).
+
+    The callback is re-armed *after* it returns, never before: any events
+    the callback schedules are sequenced ahead of the next firing, exactly
+    like the hand-rolled ``fn(); loop.schedule(period, fire)`` chains this
+    API replaces — which is what keeps golden histories bit-identical.
+    """
+
+    __slots__ = ("interval", "fn", "cancelled", "_event")
+
+    def __init__(self, interval: Union[float, Callable[[], float]],
+                 fn: Callable[[], Any]):
+        self.interval = interval
+        self.fn = fn
+        self.cancelled = False
+        self._event: Optional[Event] = None
+
+    def cancel(self) -> None:
+        """Stop future firings.  Idempotent; safe from inside the callback."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._event is not None:
+                self._event.cancel()
+                self._event = None
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<PeriodicHandle {name} {state}>"
 
 
 class EventLoop:
@@ -134,6 +176,37 @@ class EventLoop:
         self._pending += 1
         return event
 
+    def schedule_periodic(self, interval: Union[float, Callable[[], float]],
+                          fn: Callable[[], Any],
+                          phase: Optional[float] = None) -> PeriodicHandle:
+        """Run ``fn()`` every ``interval`` seconds; returns a cancellable
+        :class:`PeriodicHandle`.
+
+        ``interval`` may be a callable, re-evaluated at every re-arm.
+        ``phase`` delays the first firing (defaults to one full interval).
+        The handle re-arms *after* ``fn`` returns (even if it raises), and
+        stops as soon as :meth:`PeriodicHandle.cancel` is called — including
+        from inside ``fn`` itself.
+        """
+        handle = PeriodicHandle(interval, fn)
+
+        def fire() -> None:
+            handle._event = None
+            try:
+                fn()
+            finally:
+                if not handle.cancelled:
+                    step = handle.interval
+                    if callable(step):
+                        step = step()
+                    handle._event = self.schedule(step, fire)
+
+        first = phase
+        if first is None:
+            first = interval() if callable(interval) else interval
+        handle._event = self.schedule(first, fire)
+        return handle
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -194,3 +267,140 @@ class EventLoop:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+
+
+class TimeWheelLoop(EventLoop):
+    """Slotted time-wheel scheduler: same semantics, batch-friendly layout.
+
+    Experiment schedules are dominated by short-horizon events (periodic
+    stabilizer/GST/gossip ticks, service-queue completions, intra-DC
+    deliveries), so instead of one global heap this backend hashes events
+    into fixed-width time slots: ``slot = floor(time / resolution)``, a ring
+    of ``wheel_slots`` buckets covering ``resolution * wheel_slots`` seconds
+    of horizon.  Each bucket is a *small* heap (a few events), so pushes and
+    pops touch O(log bucket) elements instead of O(log total).  Events
+    beyond the horizon overflow into an auxiliary heap and migrate into the
+    ring as the cursor sweeps forward.
+
+    Firing order is exactly the base loop's ``(time, seq)`` total order:
+    buckets partition the time axis, and within a bucket the heap compares
+    ``(time, seq)`` via :meth:`Event.__lt__` — the property test in
+    ``tests/test_sim_batching.py`` drives arbitrary one-shot/periodic/
+    cancelled mixes through both backends and asserts identical histories.
+    The heap backend stays the reference implementation and the default
+    (``Environment(scheduler="heap")``).
+    """
+
+    def __init__(self, resolution: float = 1e-3,
+                 wheel_slots: int = 4096) -> None:
+        super().__init__()
+        if resolution <= 0.0:
+            raise SimulationError("wheel resolution must be positive")
+        if wheel_slots < 2:
+            raise SimulationError("wheel needs at least two slots")
+        self._res = resolution
+        self._n = wheel_slots
+        self._buckets: list[list[Event]] = [[] for _ in range(wheel_slots)]
+        self._overflow: list[Event] = []     # events beyond the horizon
+        self._cursor = 0                     # absolute slot index being drained
+        self._wheel_count = 0                # events (incl. cancelled) in ring
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, already at t={self._now!r}"
+            )
+        event = Event(time, next(self._seq), fn, args, self)
+        self._insert(event)
+        self._pending += 1
+        return event
+
+    def _insert(self, event: Event) -> None:
+        idx = int(event.time / self._res)
+        if idx - self._cursor < self._n:
+            heapq.heappush(self._buckets[idx % self._n], event)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, event)
+
+    def _migrate(self) -> None:
+        """Pull overflow events that now fall inside the ring's horizon."""
+        overflow = self._overflow
+        if not overflow:
+            return
+        res, n = self._res, self._n
+        horizon = self._cursor + n
+        while overflow and int(overflow[0].time / res) < horizon:
+            event = heapq.heappop(overflow)
+            heapq.heappush(self._buckets[int(event.time / res) % n], event)
+            self._wheel_count += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[Event]:
+        """Next live event in ``(time, seq)`` order, or None when drained.
+
+        The cursor only moves forward, so the empty-slot scan is amortized
+        over simulated time; when the ring is empty it jumps straight to
+        the overflow head's slot instead of sweeping.
+        """
+        buckets, n = self._buckets, self._n
+        while self._wheel_count or self._overflow:
+            if not self._wheel_count:
+                self._cursor = int(self._overflow[0].time / self._res)
+                self._migrate()
+                continue
+            bucket = buckets[self._cursor % n]
+            while bucket:
+                event = heapq.heappop(bucket)
+                self._wheel_count -= 1
+                if event.cancelled:
+                    continue
+                self._pending -= 1
+                event._loop = None  # fired: late cancel() must not decrement
+                return event
+            self._cursor += 1
+            self._migrate()
+        return None
+
+    def _push_back(self, event: Event) -> None:
+        """Undo a pop (the event was past an ``until`` boundary)."""
+        event._loop = self
+        self._pending += 1
+        self._insert(event)
+
+    def step(self) -> bool:
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self._processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while max_events is None or fired < max_events:
+                event = self._pop_next()
+                if event is None:
+                    break
+                if until is not None and event.time > until:
+                    self._push_back(event)
+                    break
+                fired += 1
+                self._now = event.time
+                self._processed += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+            self._cursor = max(self._cursor, int(self._now / self._res))

@@ -19,7 +19,7 @@ result in the paper.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 from .env import Environment
 from .latency import ConstantLatency, LatencyModel
@@ -42,8 +42,15 @@ class Network:
         self._link_extra_delay: dict[tuple[int, int], float] = {}
         self._blocked: set[tuple[int, int]] = set()
         self._processes: dict[int, Process] = {}
+        #: every message handed to the network, whether or not it survives
+        #: the crash/partition/loss checks (the offered load)
+        self.messages_attempted = 0
+        #: messages actually scheduled for delivery (crashed-source,
+        #: partitioned, and lost messages are excluded — so crash schedules
+        #: cannot inflate reported send throughput)
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: bytes of delivered-path messages (same rule as ``messages_sent``)
         self.bytes_sent = 0
         env.network = self
 
@@ -101,8 +108,7 @@ class Network:
         common non-faulty run — are tested for emptiness before being
         probed.
         """
-        self.messages_sent += 1
-        self.bytes_sent += getattr(msg, "size_bytes", 0)
+        self.messages_attempted += 1
         key = (src.pid, dst.pid)
         if src.crashed or (self._blocked and key in self._blocked):
             self.messages_dropped += 1
@@ -112,6 +118,8 @@ class Network:
         if rate > 0.0 and self._rng.random() < rate:
             self.messages_dropped += 1
             return
+        self.messages_sent += 1
+        self.bytes_sent += getattr(msg, "size_bytes", 0)
         loop = self.env.loop
         delay = self.latency.delay(src, dst, self._rng)
         if self._link_extra_delay:
@@ -124,3 +132,89 @@ class Network:
             deliver_at = previous
         last[key] = deliver_at
         loop.schedule_at(deliver_at, dst.deliver, msg, src)
+
+    def send_many(self, src: Process, dst: Process,
+                  msgs: Sequence[Any]) -> None:
+        """Transmit a batch of messages over one link, one event per group.
+
+        Semantically identical to calling :meth:`send` once per message, in
+        order: the per-message loss and latency draws consume the network
+        RNG in exactly the same sequence, and the per-link FIFO clamp is
+        applied message by message.  The difference is purely mechanical —
+        messages that end up with the *same* delivery time (always the case
+        under jitter-free latency models, where the FIFO clamp makes
+        deliver-at times non-decreasing and batches collapse) are scheduled
+        as ONE event that hands the whole group to
+        :meth:`repro.sim.process.Process.deliver_batch`.  Consecutive
+        sequence numbers mean no foreign event can interleave a same-time
+        group, so the merged firing is order-isomorphic to the per-message
+        schedule.
+        """
+        n = len(msgs)
+        if n == 0:
+            return
+        if n == 1:
+            self.send(src, dst, msgs[0])
+            return
+        self.messages_attempted += n
+        key = (src.pid, dst.pid)
+        if src.crashed or (self._blocked and key in self._blocked):
+            self.messages_dropped += n
+            return
+        rate = (self._link_loss.get(key, self.loss_rate)
+                if self._link_loss else self.loss_rate)
+        loop = self.env.loop
+        now = loop.now
+        latency_delay = self.latency.delay
+        rng = self._rng
+        extra = (self._link_extra_delay.get(key, 0.0)
+                 if self._link_extra_delay else 0.0)
+        previous = self._last_delivery.get(key)
+        group: list[Any] = []
+        group_at = 0.0
+        delivered = 0
+        bytes_out = 0
+        for msg in msgs:
+            if rate > 0.0 and rng.random() < rate:
+                self.messages_dropped += 1
+                continue
+            deliver_at = now + latency_delay(src, dst, rng) + extra
+            if previous is not None and deliver_at < previous:
+                deliver_at = previous
+            previous = deliver_at
+            delivered += 1
+            bytes_out += getattr(msg, "size_bytes", 0)
+            if group and deliver_at == group_at:
+                group.append(msg)
+                continue
+            self._flush_group(group, group_at, dst, src)
+            group = [msg]
+            group_at = deliver_at
+        self._flush_group(group, group_at, dst, src)
+        if previous is not None:
+            self._last_delivery[key] = previous
+        self.messages_sent += delivered
+        self.bytes_sent += bytes_out
+
+    def _flush_group(self, group: list, deliver_at: float, dst: Process,
+                     src: Process) -> None:
+        """Schedule one pending delivery group (no-op when empty)."""
+        if not group:
+            return
+        if len(group) == 1:
+            self.env.loop.schedule_at(deliver_at, dst.deliver, group[0], src)
+        else:
+            self.env.loop.schedule_at(deliver_at, dst.deliver_batch,
+                                      tuple(group), src)
+
+    def multicast(self, src: Process, dsts: Iterable[Process],
+                  msg: Any) -> None:
+        """Send one message to each destination, in iteration order.
+
+        Pure fan-out sugar over :meth:`send` — per-destination links draw
+        loss/latency independently, so nothing can be merged across
+        destinations; the value is a single audited entry point for the
+        propagation/heartbeat/gossip fan-outs instead of ad-hoc loops.
+        """
+        for dst in dsts:
+            self.send(src, dst, msg)

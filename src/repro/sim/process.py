@@ -71,20 +71,34 @@ class CostModel:
 
 
 class PeriodicTask:
-    """Handle for a repeating local task; ``stop()`` cancels future firings."""
+    """Handle for a repeating local task; ``stop()`` cancels future firings.
 
-    __slots__ = ("_stopped", "period")
+    A thin crash-aware veneer over the loop-level
+    :class:`repro.sim.loop.PeriodicHandle`: ``period`` stays a mutable
+    attribute (and may be a zero-argument callable), re-read before every
+    firing, preserving the historical contract that runtime mutation takes
+    effect on the next tick.
+    """
 
-    def __init__(self, period: float):
+    __slots__ = ("_stopped", "_handle", "period")
+
+    def __init__(self, period):
         self.period = period
         self._stopped = False
+        self._handle = None   # wired by Process.periodic
 
     def stop(self) -> None:
         self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
 
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+    def _interval(self) -> float:
+        period = self.period
+        return period() if callable(period) else period
 
 
 class Process:
@@ -122,28 +136,37 @@ class Process:
 
         return self.env.loop.schedule(delay, guarded)
 
-    def periodic(self, period: float, fn: Callable[[], Any],
+    def periodic(self, period, fn: Callable[[], Any],
                  cost: float = 0.0, phase: Optional[float] = None) -> PeriodicTask:
         """Run ``fn`` every ``period`` seconds.
 
         ``cost`` > 0 routes each firing through the service queue, charging
         the process CPU time — this is how the periodic global-stabilization
         work of GentleRain/Cure is made expensive.  ``phase`` staggers the
-        first firing (defaults to one full period).
+        first firing (defaults to one full period).  ``period`` may be a
+        zero-argument callable, re-read before every firing (the straggler
+        injector mutates intervals at runtime).
+
+        Built on :meth:`repro.sim.loop.EventLoop.schedule_periodic`: the
+        returned :class:`PeriodicTask` wraps the loop-level handle, and the
+        crash guard retires the whole chain (one uniform re-arm point —
+        recovery paths simply call the owning component's ``start()`` again).
         """
         task = PeriodicTask(period)
         epoch = self._epoch
 
-        def fire() -> None:
+        def body() -> None:
             if task.stopped or self.crashed or self._epoch != epoch:
+                task.stop()
                 return
             if cost > 0.0:
                 self._enqueue(fn, cost)
             else:
                 fn()
-            self.env.loop.schedule(task.period, fire)
 
-        self.env.loop.schedule(period if phase is None else phase, fire)
+        task._handle = self.env.loop.schedule_periodic(
+            task._interval, body,
+            phase=task._interval() if phase is None else phase)
         return task
 
     # ------------------------------------------------------------------
@@ -152,6 +175,20 @@ class Process:
     def send(self, dst: "Process", msg: Any) -> None:
         """Send ``msg`` to ``dst`` over the environment's network."""
         self.env.network.send(self, dst, msg)
+
+    def send_many(self, dst: "Process", msgs) -> None:
+        """Ship a batch of messages to ``dst`` as one network batch.
+
+        Order, FIFO, and per-message loss statistics match a loop of
+        :meth:`send` calls exactly (see
+        :meth:`repro.sim.network.Network.send_many`); same-delivery-time
+        runs collapse into a single scheduled event.
+        """
+        self.env.network.send_many(self, dst, msgs)
+
+    def multicast(self, dsts, msg: Any) -> None:
+        """Fan one message out to every destination, in iteration order."""
+        self.env.network.multicast(self, dsts, msg)
 
     def lane_of(self, msg: Any) -> str:
         """Service lane for ``msg`` (override to add background servers)."""
@@ -163,6 +200,33 @@ class Process:
             return
         self._enqueue(lambda: self._dispatch(msg, src),
                       self.cost_model.cost_of(msg), lane=self.lane_of(msg))
+
+    def deliver_batch(self, msgs: tuple, src: "Process") -> None:
+        """One network batch arriving as a single event (``send_many``).
+
+        Equivalence contract: the observable behaviour must match ``msgs``
+        being delivered back to back at the same instant.  Free messages
+        (zero service cost, one shared lane) dispatch inline — one event
+        replaces the whole per-message ``_enqueue`` fan — which is where
+        batched delivery earns its throughput.  Any message with a nonzero
+        cost falls back to the exact per-message service-queue path, since
+        merging *those* would move their individual completion times.
+        """
+        if self.crashed:
+            return
+        cost_of = self.cost_model.cost_of
+        lane_of = self.lane_of
+        costs = [cost_of(msg) for msg in msgs]
+        if not any(costs):
+            lanes = {lane_of(msg) for msg in msgs}
+            if len(lanes) == 1 and not self._lane_busy.get(lanes.pop(), 0.0) > self.now:
+                dispatch = self._dispatch
+                for msg in msgs:
+                    dispatch(msg, src)
+                return
+        for msg, cost in zip(msgs, costs):
+            self._enqueue(lambda m=msg: self._dispatch(m, src), cost,
+                          lane=lane_of(msg))
 
     def _enqueue(self, fn: Callable[[], Any], cost: float,
                  lane: str = "cpu") -> None:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.loop import EventLoop, SimulationError
+from repro.sim.loop import EventLoop, SimulationError, TimeWheelLoop
 
 
 def test_events_fire_in_time_order():
@@ -199,3 +199,156 @@ def test_determinism_same_schedule_same_history():
         return out
 
     assert history() == history()
+
+
+# ----------------------------------------------------------------------
+# schedule_periodic
+# ----------------------------------------------------------------------
+
+def test_periodic_fires_every_interval():
+    loop = EventLoop()
+    times = []
+    handle = loop.schedule_periodic(1.0, lambda: times.append(loop.now))
+    loop.run(until=3.5)
+    handle.cancel()
+    loop.run()
+    assert times == [1.0, 2.0, 3.0]
+    assert not handle.active
+
+
+def test_periodic_phase_offsets_first_firing():
+    loop = EventLoop()
+    times = []
+    handle = loop.schedule_periodic(1.0, lambda: times.append(loop.now),
+                                    phase=0.25)
+    loop.run(until=2.5)
+    handle.cancel()
+    assert times == [0.25, 1.25, 2.25]
+
+
+def test_periodic_cancel_from_inside_callback():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_periodic(1.0, lambda: (
+        fired.append(loop.now),
+        handle.cancel() if len(fired) == 2 else None))
+    loop.run()
+    assert fired == [1.0, 2.0]
+    assert loop.pending() == 0
+
+
+def test_periodic_callable_interval_reread_each_arming():
+    loop = EventLoop()
+    times = []
+    step = [1.0]
+
+    def fire():
+        times.append(loop.now)
+        step[0] = 0.5           # takes effect from the *next* arming on
+
+    handle = loop.schedule_periodic(lambda: step[0], fire)
+    loop.run(until=2.3)
+    handle.cancel()
+    assert times == [1.0, 1.5, 2.0]
+
+
+def test_periodic_rearms_after_callback_returns():
+    """The next firing is scheduled *after* the callback body runs, so any
+    events the callback schedules at the next firing time get earlier
+    sequence numbers and fire first — the order hand-rolled self-
+    rescheduling loops produced."""
+    loop = EventLoop()
+    order = []
+
+    def fire():
+        order.append(("tick", loop.now))
+        loop.schedule(1.0, order.append, ("inner", loop.now + 1.0))
+
+    handle = loop.schedule_periodic(1.0, fire)
+    loop.run(until=2.5)
+    handle.cancel()
+    assert order == [("tick", 1.0), ("inner", 2.0), ("tick", 2.0)]
+
+
+# ----------------------------------------------------------------------
+# TimeWheelLoop
+# ----------------------------------------------------------------------
+
+def test_wheel_rejects_bad_parameters():
+    with pytest.raises(SimulationError):
+        TimeWheelLoop(resolution=0.0)
+    with pytest.raises(SimulationError):
+        TimeWheelLoop(resolution=-1e-3)
+    with pytest.raises(SimulationError):
+        TimeWheelLoop(wheel_slots=1)
+
+
+def test_wheel_fires_in_time_then_seq_order():
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=8)
+    fired = []
+    loop.schedule(0.003, fired.append, "c")
+    loop.schedule(0.001, fired.append, "a")
+    loop.schedule(0.001, fired.append, "a2")   # same slot, same time: seq order
+    loop.schedule(0.002, fired.append, "b")
+    loop.run()
+    assert fired == ["a", "a2", "b", "c"]
+    assert loop.now == 0.003
+
+
+def test_wheel_overflow_beyond_horizon_fires_at_exact_time():
+    # horizon = 4 slots * 1ms = 4ms; 50ms lands deep in the overflow heap
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=4)
+    seen = []
+    loop.schedule(0.050, lambda: seen.append(loop.now))
+    loop.schedule(0.001, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [0.001, 0.050]
+    assert loop.processed_events == 2
+
+
+def test_wheel_cursor_jumps_over_empty_stretch():
+    # A single far-future event: the ring is empty, so _pop_next must jump
+    # the cursor straight to the overflow head instead of sweeping slots.
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=4)
+    seen = []
+    loop.schedule(123.456, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [123.456]
+
+
+def test_wheel_until_boundary_pushes_event_back():
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=4)
+    fired = []
+    loop.schedule(0.0015, fired.append, "early")
+    loop.schedule(0.0095, fired.append, "late")
+    loop.run(until=0.005)
+    assert fired == ["early"]
+    assert loop.now == 0.005
+    assert loop.pending() == 1
+    loop.run()
+    assert fired == ["early", "late"]
+    assert loop.pending() == 0
+
+
+def test_wheel_cancelled_events_skipped_in_ring_and_overflow():
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=4)
+    fired = []
+    ring_drop = loop.schedule(0.002, fired.append, "ring")
+    overflow_drop = loop.schedule(0.040, fired.append, "overflow")
+    loop.schedule(0.003, fired.append, "keep")
+    ring_drop.cancel()
+    overflow_drop.cancel()
+    assert loop.pending() == 1
+    loop.run()
+    assert fired == ["keep"]
+    assert loop.pending() == 0
+
+
+def test_wheel_supports_periodic_and_nested_scheduling():
+    loop = TimeWheelLoop(resolution=1e-3, wheel_slots=4)
+    times = []
+    handle = loop.schedule_periodic(0.0027, lambda: times.append(loop.now))
+    loop.run(until=0.009)
+    handle.cancel()
+    loop.run()
+    assert times == pytest.approx([0.0027, 0.0054, 0.0081])
