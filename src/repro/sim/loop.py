@@ -344,9 +344,19 @@ class TimeWheelLoop(EventLoop):
     def _pop_next(self) -> Optional[Event]:
         """Next live event in ``(time, seq)`` order, or None when drained.
 
-        The cursor only moves forward, so the empty-slot scan is amortized
-        over simulated time; when the ring is empty it jumps straight to
-        the overflow head's slot instead of sweeping.
+        Within a drain the cursor only moves forward, so the empty-slot
+        scan is amortized over simulated time; when the ring is empty it
+        jumps straight to the overflow head's slot instead of sweeping.
+
+        Invariant on return: whenever control goes back to user code the
+        cursor sits at or before ``now``'s slot, because anything scheduled
+        next only promises ``time >= now`` — a cursor left ahead (by the
+        overflow jump or by sweeping past cancelled events) would strand
+        such events in already-swept buckets, firing them a whole lap late.
+        Returning an event restores it naturally (``now`` becomes the
+        event's time, whose slot is exactly the cursor); the drained path
+        rewinds explicitly (the ring and overflow are both empty, so there
+        is nothing to re-bucket); :meth:`_push_back` handles the third exit.
         """
         buckets, n = self._buckets, self._n
         while self._wheel_count or self._overflow:
@@ -365,10 +375,29 @@ class TimeWheelLoop(EventLoop):
                 return event
             self._cursor += 1
             self._migrate()
+        self._cursor = int(self._now / self._res)
         return None
 
     def _push_back(self, event: Event) -> None:
-        """Undo a pop (the event was past an ``until`` boundary)."""
+        """Undo a pop (the event was past an ``until`` boundary).
+
+        :meth:`_pop_next` may have left the cursor beyond ``now``'s slot —
+        via the empty-ring overflow jump, or by sweeping empty/cancelled
+        buckets on its way to this event.  Rewind it (see the invariant on
+        :meth:`_pop_next`), spilling any ring events back to overflow
+        since their buckets were hashed relative to the overshot cursor.
+        """
+        cursor_floor = int(self._now / self._res)
+        if self._cursor > cursor_floor:
+            if self._wheel_count:
+                overflow = self._overflow
+                for bucket in self._buckets:
+                    if bucket:
+                        overflow.extend(bucket)
+                        bucket.clear()
+                heapq.heapify(overflow)
+                self._wheel_count = 0
+            self._cursor = cursor_floor
         event._loop = self
         self._pending += 1
         self._insert(event)
@@ -403,4 +432,9 @@ class TimeWheelLoop(EventLoop):
             self._running = False
         if until is not None and self._now < until:
             self._now = until
-            self._cursor = max(self._cursor, int(self._now / self._res))
+            # Skip the empty-slot sweep up to ``until`` only when nothing is
+            # pending: with live events still queued (push-back, max_events)
+            # the cursor must stay behind their slots, and with an empty
+            # ring the overflow jump makes the sweep free anyway.
+            if not self._wheel_count and not self._overflow:
+                self._cursor = int(self._now / self._res)

@@ -221,7 +221,13 @@ class Process:
             lanes = {lane_of(msg) for msg in msgs}
             if len(lanes) == 1 and not self._lane_busy.get(lanes.pop(), 0.0) > self.now:
                 dispatch = self._dispatch
+                epoch = self._epoch
                 for msg in msgs:
+                    # A handler may crash (or crash+recover) the process
+                    # mid-batch; the per-message path's _enqueue guard drops
+                    # the remainder, so the inline path must too.
+                    if self.crashed or self._epoch != epoch:
+                        return
                     dispatch(msg, src)
                 return
         for msg, cost in zip(msgs, costs):

@@ -43,9 +43,17 @@ _U = 0.00037
 
 
 def _run_program(loop, one_shots, periodics, boundaries):
-    """Execute a generated schedule on ``loop``; return its firing log."""
+    """Execute a generated schedule on ``loop``; return its firing log.
+
+    Each boundary is ``(units, mid_shots)``: after ``run(until=units*_U)``
+    the mid-shots are scheduled *between* segments — exactly the windowed
+    GeoSystem.run()/quiesce() pattern, where fresh events land in a wheel
+    whose cursor already advanced (possibly far ahead, via the empty-ring
+    overflow jump and a pushed-back event).
+    """
     log = []
     handles = []
+    ids = itertools.count()
 
     def fire_one(i, delay_units, respawn):
         log.append((loop.now, "one", i))
@@ -56,11 +64,15 @@ def _run_program(loop, one_shots, periodics, boundaries):
     def fire_child(i):
         log.append((loop.now, "child", i))
 
-    for i, (delay_units, cancel, respawn) in enumerate(one_shots):
+    def schedule_one(delay_units, cancel, respawn):
+        i = next(ids)
         event = loop.schedule(delay_units * _U, fire_one, i, delay_units,
                               respawn)
         if cancel:
             event.cancel()
+
+    for shot in one_shots:
+        schedule_one(*shot)
 
     for j, (interval_units, firings, phase_units) in enumerate(periodics):
         remaining = [firings]
@@ -75,9 +87,11 @@ def _run_program(loop, one_shots, periodics, boundaries):
             interval_units * _U, fire_periodic,
             phase=None if phase_units == 0 else phase_units * _U))
 
-    for units in boundaries:
+    for units, mid_shots in boundaries:
         loop.run(until=units * _U)
         log.append(("segment", loop.now, loop.pending()))
+        for shot in mid_shots:
+            schedule_one(*shot)
     loop.run()
     return log
 
@@ -90,7 +104,13 @@ def _run_program(loop, one_shots, periodics, boundaries):
     periodics=st.lists(
         st.tuples(st.integers(1, 9), st.integers(1, 4), st.integers(0, 5)),
         max_size=3),
-    boundaries=st.lists(st.integers(1, 70), max_size=3).map(sorted),
+    boundaries=st.lists(
+        st.tuples(
+            st.integers(1, 70),
+            st.lists(st.tuples(st.integers(0, 60), st.booleans(),
+                               st.booleans()),
+                     max_size=3)),
+        max_size=3).map(lambda bs: sorted(bs, key=lambda b: b[0])),
     resolution_us=st.sampled_from([200, 1000, 5000]),
     wheel_slots=st.sampled_from([2, 4, 64]),
 )
@@ -100,7 +120,10 @@ def test_time_wheel_matches_heap(one_shots, periodics, boundaries,
     (self-cancelling mid-run), and run-until segments fires identically on
     both backends.  Tiny wheels (2 slots at 200 us over delays up to ~22 ms)
     force nearly every event through the overflow heap and its migration
-    path; large resolutions force many events into one slot."""
+    path; large resolutions force many events into one slot.  Boundaries
+    carry fresh one-shots scheduled *between* segments — including delays
+    far shorter than the gap to the overflow head — so the wheel must keep
+    its cursor sweepable after a ``run(until=...)`` push-back."""
     heap_loop = EventLoop()
     wheel_loop = TimeWheelLoop(resolution=resolution_us * 1e-6,
                                wheel_slots=wheel_slots)
@@ -110,6 +133,27 @@ def test_time_wheel_matches_heap(one_shots, periodics, boundaries,
     assert wheel_loop.processed_events == heap_loop.processed_events
     assert wheel_loop.now == heap_loop.now
     assert wheel_loop.pending() == heap_loop.pending() == 0
+
+
+def test_wheel_cursor_rewinds_after_overflow_jump_push_back():
+    """Regression: an event far beyond the wheel horizon makes the empty-ring
+    fast path jump the cursor to the overflow head's slot; when that event is
+    then pushed back past a ``run(until=...)`` boundary, the cursor must
+    rewind — otherwise events scheduled between segments land in
+    already-swept buckets, fire a whole lap late (after the far-future
+    event), and drag ``now`` backwards."""
+    for cls, kwargs in ((EventLoop, {}),
+                        (TimeWheelLoop, {"resolution": 1e-3,
+                                         "wheel_slots": 4096})):
+        loop = cls(**kwargs)
+        fired = []
+        loop.schedule(10.0, fired.append, 10.0)   # beyond the ~4.1 s horizon
+        loop.run(until=1.0)
+        loop.schedule(0.5, fired.append, 1.5)     # lands behind a stale cursor
+        loop.run()
+        assert fired == [1.5, 10.0]
+        assert loop.now == 10.0
+        assert loop.pending() == 0
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +265,37 @@ def test_send_many_from_crashed_source_counts_attempts():
     assert net.messages_dropped == 5
     assert net.messages_sent == 0
     assert net.bytes_sent == 0
+
+
+class CrashOnFirst(Recorder):
+    """Crashes itself while handling its first delivery."""
+
+    def on_probe(self, msg, src):
+        super().on_probe(msg, src)
+        if len(self.log) == 1:
+            self.crash()
+
+
+def test_deliver_batch_stops_when_handler_crashes_mid_batch():
+    """A handler that crashes the process mid-batch must drop the remaining
+    messages of that batch, matching the per-message path's _enqueue guard
+    (regression: the inline fast path kept dispatching after the crash)."""
+    logs = []
+    for batched in (False, True):
+        env = Environment(seed=7)
+        net = Network(env, latency=ConstantLatency(0.0001))
+        sender = Recorder(env, "sender")
+        sink = CrashOnFirst(env, "sink")
+        msgs = [Probe((0, k), 0) for k in range(3)]
+        if batched:
+            net.send_many(sender, sink, msgs)
+        else:
+            for msg in msgs:
+                net.send(sender, sink, msg)
+        env.run()
+        logs.append(sink.log)
+    assert logs[0] == logs[1]
+    assert [ident for _, ident in logs[1]] == [(0, 0)]
 
 
 def test_send_many_empty_and_singleton():
