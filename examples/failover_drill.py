@@ -203,6 +203,81 @@ def act3_amnesia_rejoin() -> None:
           "to the crash-free run")
 
 
+def act4_partition_and_gray_disk() -> None:
+    """Chaos-style drill: isolate the Ω leader group (no crash — it keeps
+    believing it leads), and degrade a survivor shard's WAL disk 20× for
+    the same window.  The partitioned leader ships nothing; the survivors
+    elect group 1, which stabilizes on through stalled group commits; the
+    drivers' at-least-once uplinks re-deliver everything the old leader
+    missed once the partition heals, and Ω's min-id tie-break hands
+    leadership back.  Asserted: failover is bounded (stabilization resumes
+    well inside one suspect window after the cut) and the deduplicated
+    stable stream is op-for-op identical to a fault-free run.
+    """
+    from repro.sim.failure import FailureSchedule
+
+    config = EunomiaConfig(
+        n_shards=4, n_replicas=3, fault_tolerant=True,
+        durability="wal", checkpoint_interval=0.25,
+        replica_alive_interval=0.1, replica_suspect_timeout=0.35,
+        state_transfer_timeout=0.3,
+    )
+    cal = Calibration()
+    CUT, HEAL = 0.6, 1.4
+
+    def collect(faulty: bool):
+        rig = build_eunomia_rig(8, config=config, calibration=cal, seed=5757)
+        rig.sink.record = True
+        if faulty:
+            leader = rig.groups[0]
+            rest = [p for g in rig.groups[1:] for p in g.processes()]
+            rest += list(rig.drivers) + [rig.sink]
+            gray = rig.groups[1].shards[0].wal.disk
+            fs = FailureSchedule(rig.env)
+            fs.partition_at(CUT, leader.processes(), rest)
+            fs.degrade_disk_at(CUT, gray, factor=20.0)
+            fs.heal_at(HEAL, leader.processes(), rest)
+            fs.restore_disk_at(HEAL, gray)
+            fs.arm()
+        rig.run(2.4)
+        for driver in rig.drivers:
+            driver.stop()
+        rig.env.run(until=rig.env.now + 1.6)
+        return rig
+
+    reference = collect(False)
+    rig = collect(True)
+    leader = rig.groups[0]
+
+    print(f"dc1 leader group isolated on [{CUT}s, {HEAL}s); "
+          f"{rig.groups[1].shards[0].wal.name} disk 20x slower meanwhile")
+    # Bounded failover: the longest stabilization stall anywhere in the
+    # fault window (the isolated leader drains its buffer, then the site
+    # is silent until the survivors' Ω suspects it and group 1 takes over).
+    marks = [t for t in rig.metrics.mark_times("eunomia_stable:dc0")
+             if CUT <= t <= HEAL]
+    stall = max(b - a for a, b in zip([CUT] + marks, marks + [HEAL]))
+    print(f"longest stabilization stall in the window: {stall:.3f}s "
+          f"(suspect timeout {config.replica_suspect_timeout}s)")
+    assert stall < 2 * config.replica_suspect_timeout, (
+        "failover after leader isolation was not bounded")
+
+    seen, deduped = set(), []
+    for uid in rig.sink.collected:
+        if uid not in seen:
+            seen.add(uid)
+            deduped.append(uid)
+    dups = len(rig.sink.collected) - len(deduped)
+    print(f"stable stream           : {len(deduped)} unique ops "
+          f"({dups} re-shipped duplicates dropped)")
+    print(f"healed group leads      : {leader.is_leader()}")
+    assert leader.is_leader(), "healed min-id group must reclaim Omega"
+    assert deduped == reference.sink.collected, (
+        "partition + gray disk changed the stable serialization")
+    print("exactly-once contract held: stream identical to the "
+          "fault-free run")
+
+
 def main() -> None:
     print("=== Act 1: Algorithm 4 failover (K=1, 3 replicas) ===")
     act1_unsharded()
@@ -212,6 +287,9 @@ def main() -> None:
     print("\n=== Act 3: amnesia crash -> WAL/checkpoint rejoin "
           "(K=4 x R=3, durability='wal') ===")
     act3_amnesia_rejoin()
+    print("\n=== Act 4: leader-group partition + gray disk "
+          "(chaos-style, no crash) ===")
+    act4_partition_and_gray_disk()
 
 
 if __name__ == "__main__":

@@ -19,8 +19,9 @@ Checks, with zero dependencies beyond the stdlib:
    registered plugin cannot ship undocumented (and a renamed one cannot
    leave stale docs behind);
 5. every recognized value of the ablation-knob name tuples — the
-   scheduler backends (``sim/env.py``) and WAL codecs
-   (``durability/wal.py``) — is documented in both README.md and
+   scheduler backends (``sim/env.py``), WAL codecs
+   (``durability/wal.py``), and chaos fault classes
+   (``harness/chaos.py``) — is documented in both README.md and
    docs/ARCHITECTURE.md, same rationale as the protocol registry.
 
 Exit code 0 when clean; prints every violation and exits 1 otherwise.
@@ -151,6 +152,7 @@ def check_protocols_documented() -> list[str]:
 KNOB_TUPLES = [
     (REPO / "src" / "repro" / "sim" / "env.py", "SCHEDULER_BACKENDS"),
     (REPO / "src" / "repro" / "durability" / "wal.py", "WAL_CODECS"),
+    (REPO / "src" / "repro" / "harness" / "chaos.py", "FAULT_CLASSES"),
 ]
 
 

@@ -78,6 +78,15 @@ class GstTimings:
     heartbeat_interval: float = 0.010
     gst_interval: float = 0.005
 
+    #: Aggregator liveness bound: a partition that has seen no GST/GSV
+    #: broadcast for this long presumes the aggregator dead and advances
+    #: its aggregator view round-robin (``None`` → ``10 × gst_interval``).
+    #: The same bound ages out reports at the aggregator, so a dead
+    #: partition stops capping the minimum.  This is the bounded timeout
+    #: behind aggregator re-election; without it a crashed aggregator
+    #: freezes the whole DC's stabilization forever.
+    aggregator_timeout: Optional[float] = None
+
 
 class GstPartition(Process):
     """A partition of a global-stabilization store (GentleRain/Cure core).
@@ -108,8 +117,17 @@ class GstPartition(Process):
         self.summary = (0,) * summary_width    # GST (w=1) or GSV (w=M)
         self.siblings: dict[int, Process] = {}
         self.aggregator: Optional[Process] = None
-        self.local_partitions: list[Process] = []   # aggregator only
-        self._reports: dict[int, tuple] = {}        # aggregator only
+        #: every partition knows the DC roster now (re-election needs it);
+        #: empty for bare partitions wired by hand in unit tests
+        self.local_partitions: list[Process] = []
+        self._reports: dict[int, tuple] = {}        # current aggregator only
+        self._report_seen: dict[int, float] = {}    # report freshness times
+        #: which roster index this partition currently believes aggregates
+        self.aggregator_view = 0
+        self._last_broadcast_seen = 0.0
+        self._tenure_start = 0.0                    # when we last took office
+        self._aggregate_task = None
+        self.aggregator_failovers = 0
         # Flavor-specific deferred-update container: GentleRain swaps in a
         # RunBuffer ("runs" backend) or keeps this heap-ordered list; Cure
         # scans a plain list (vector gates are not totally ordered).  All
@@ -128,7 +146,7 @@ class GstPartition(Process):
 
     @property
     def is_aggregator(self) -> bool:
-        return self.index == 0
+        return self.aggregator_view == self.index
 
     def lane_of(self, msg) -> str:
         # Same background-replication lane as every other store here: remote
@@ -141,9 +159,25 @@ class GstPartition(Process):
         self.periodic(self.timings.heartbeat_interval, self._send_heartbeats)
         self.periodic(self.timings.gst_interval, self._report,
                       phase=self.timings.gst_interval * 0.5)
+        # Fresh grace periods: a just-(re)started partition gives the
+        # aggregator a full timeout before suspecting it, and — if it is the
+        # aggregator — gives every roster member a full timeout to report
+        # before aggregating without them.
+        self._last_broadcast_seen = self.now
+        self._tenure_start = self.now
         if self.is_aggregator:
-            self.periodic(self.timings.gst_interval, self._aggregate,
-                          phase=self.timings.gst_interval)
+            self._arm_aggregate()
+
+    def _arm_aggregate(self) -> None:
+        if self._aggregate_task is not None:
+            self._aggregate_task.stop()
+        self._aggregate_task = self.periodic(self.timings.gst_interval,
+                                             self._aggregate,
+                                             phase=self.timings.gst_interval)
+
+    def _aggregator_timeout(self) -> float:
+        timeout = self.timings.aggregator_timeout
+        return timeout if timeout is not None else 10 * self.timings.gst_interval
 
     def recover(self) -> None:
         """Restart after a crash-stop with protocol state intact.
@@ -239,22 +273,80 @@ class GstPartition(Process):
         raise NotImplementedError
 
     def _report(self) -> None:
+        # Aggregator liveness check rides the report tick (no extra timer,
+        # no extra messages): broadcasts normally arrive every gst_interval,
+        # so a silence of aggregator_timeout means the aggregator is gone —
+        # advance the view round-robin.  Every partition advances from the
+        # same view, so they converge on the same successor; if that one is
+        # dead too, the next timeout advances again (recovery is bounded by
+        # roster_size × timeout).  Bare unit-test partitions (no roster)
+        # keep the historical static wiring.
+        if (self.local_partitions
+                and self.now - self._last_broadcast_seen
+                > self._aggregator_timeout()):
+            self._advance_aggregator()
         self.vv[self.dc_id] = max(self.vv[self.dc_id], self.clock.read_us())
         self.send(self.aggregator, GstReport(self.index, self._local_summary()))
 
+    def _advance_aggregator(self) -> None:
+        roster = self.local_partitions
+        self.aggregator_view = (self.aggregator_view + 1) % len(roster)
+        self.aggregator = roster[self.aggregator_view]
+        self._last_broadcast_seen = self.now   # full grace for the successor
+        self.aggregator_failovers += 1
+        if self.is_aggregator:
+            self._tenure_start = self.now
+            self._arm_aggregate()
+        elif self._aggregate_task is not None:
+            self._aggregate_task.stop()
+            self._aggregate_task = None
+
     def on_gst_report(self, msg: GstReport, src: Process) -> None:
         self._reports[msg.partition_index] = msg.value
+        self._report_seen[msg.partition_index] = self.now
 
     def _aggregate(self) -> None:
-        if len(self._reports) < len(self.local_partitions):
-            return  # wait until every partition has reported once
-        values = list(self._reports.values())
+        if not self.is_aggregator:
+            return  # stood down with a firing still queued
+        now = self.now
+        timeout = self._aggregator_timeout()
+        values = []
+        for i in range(max(len(self.local_partitions), len(self._reports))):
+            value = self._reports.get(i)
+            seen = self._report_seen.get(i)
+            if value is not None and (seen is None or now - seen <= timeout):
+                # Fresh report (reports planted directly by tests carry no
+                # freshness stamp and count as fresh).
+                values.append(value)
+            elif value is None and now - self._tenure_start <= timeout:
+                # Never reported, but this aggregator is newly in office:
+                # wait the full grace before aggregating without it — on a
+                # healthy bootstrap this reduces to the historical
+                # "wait until every partition has reported once".
+                return
+        if not values:
+            return
         minimum = tuple(min(v[i] for v in values)
                         for i in range(self.summary_width))
-        broadcast = GstBroadcast(minimum)
+        broadcast = GstBroadcast(minimum, self.index)
         self.multicast(self.local_partitions, broadcast)
 
     def on_gst_broadcast(self, msg: GstBroadcast, src: Process) -> None:
+        self._last_broadcast_seen = self.now
+        if msg.sender != self.aggregator_view and self.local_partitions:
+            # Someone else is aggregating.  Ω-style min-index tie-break: a
+            # partition that is itself aggregating stands down only for a
+            # lower-index sender (so a recovered index-0 aggregator retakes
+            # office and a transient dual-aggregator episode converges
+            # instead of flapping); everyone else adopts the sender
+            # unconditionally.  Duplicate aggregation is safe meanwhile —
+            # summaries only ever merge monotonically.
+            if not (self.is_aggregator and msg.sender > self.index):
+                self.aggregator_view = msg.sender
+                self.aggregator = self.local_partitions[msg.sender]
+                if self._aggregate_task is not None and not self.is_aggregator:
+                    self._aggregate_task.stop()
+                    self._aggregate_task = None
         merged = vc_merge(self.summary, msg.value)
         if merged != self.summary:
             self.summary = merged
@@ -326,8 +418,10 @@ class GstProtocol(ProtocolSpec):
             for i in range(site.n_partitions)
         ]
         aggregator = partitions[0]
-        aggregator.local_partitions = list(partitions)
         for partition in partitions:
+            # Every partition knows the full roster: re-election retargets
+            # reports and re-arms aggregation without any rewiring.
+            partition.local_partitions = list(partitions)
             partition.aggregator = aggregator
         return SitePlan(partitions=partitions)
 

@@ -17,6 +17,7 @@ __all__ = [
     "SeqRequest",
     "SeqReply",
     "ChainForward",
+    "ChainAlive",
     "GstHeartbeat",
     "GstReport",
     "GstBroadcast",
@@ -66,6 +67,21 @@ class ChainForward:
         return self.update.metadata_bytes
 
 
+@dataclass(slots=True)
+class ChainAlive:
+    """Chain-membership heartbeat (repairable chains only).
+
+    Each node learns which peers are up — the failure detector behind
+    dynamic head/tail roles and chain repair — and piggybacks its counter
+    so a rejoining ex-head catches up with assignments it missed before it
+    can hand out a duplicate number.
+    """
+
+    position: int
+    counter: int
+    size_bytes: int = 16
+
+
 # ----------------------------------------------------------------------
 # Global stabilization (GentleRain / Cure)
 # ----------------------------------------------------------------------
@@ -98,9 +114,16 @@ class GstReport:
 
 @dataclass(slots=True)
 class GstBroadcast:
-    """Aggregator → local partitions: the new GST (scalar) or GSV (vector)."""
+    """Aggregator → local partitions: the new GST (scalar) or GSV (vector).
+
+    ``sender`` is the broadcasting partition's index: receivers adopt it as
+    their aggregator view, which is how a DC converges back onto one
+    aggregator after a re-election (the index rides in the 16-byte frame
+    the size already accounts for).
+    """
 
     value: Tuple[int, ...]
+    sender: int = 0
 
     @property
     def size_bytes(self) -> int:

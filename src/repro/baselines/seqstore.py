@@ -73,14 +73,62 @@ class SeqPartition(EunomiaPartition):
                          cost_model=cost_model)
         self.synchronous = synchronous
         self.sequencer: Optional[Process] = None
+        self.sequencer_group: list[Process] = []
         self._awaiting: dict[tuple, tuple[Update, Process, int]] = {}
+        # uid -> (sent_at, attempt, group_idx) for bounded-timeout retries.
+        self._retry: dict[tuple, tuple[float, int, int]] = {}
+        self._sweep_task = None
+        self.seq_retries = 0
 
     def set_sequencer(self, sequencer: Process) -> None:
         self.sequencer = sequencer
+        if not self.sequencer_group:
+            self.sequencer_group = [sequencer]
+
+    def set_sequencer_group(self, nodes: list) -> None:
+        """All nodes a retried request may be sent to (chain standbys)."""
+        self.sequencer_group = list(nodes)
 
     def start(self) -> None:
-        # No Eunomia uplink: ordering happens at the sequencer.
-        pass
+        # No Eunomia uplink: ordering happens at the sequencer.  The sweeper
+        # is the partition-side half of sequencer fault tolerance: a request
+        # outstanding past the timeout is re-sent (with capped exponential
+        # backoff) round-robin through the sequencer group, so a crashed
+        # sequencer — or a crashed chain link that swallowed the traversal —
+        # stalls the client only until the timeout, not forever.  Healthy
+        # runs never fire it: replies return well under the timeout, and the
+        # sweep itself is a zero-cost local event (no messages, no RNG).
+        if self._sweep_task is not None:
+            self._sweep_task.stop()
+        timeout = self.config.seq_retry_timeout
+        self._sweep_task = self.periodic(timeout, self._sweep_retries,
+                                         phase=timeout)
+
+    def recover(self) -> None:
+        super().recover()           # uplink.restart() is a no-op here
+        self.start()                # re-arm the retry sweeper
+
+    def _sweep_retries(self) -> None:
+        if not self._retry:
+            return
+        now = self.now
+        base = self.config.seq_retry_timeout
+        cap = max(base, self.config.retry_backoff_cap)
+        due = []
+        for uid, (sent_at, attempt, idx) in self._retry.items():
+            if now - sent_at >= min(base * (1 << attempt), cap):
+                due.append((uid, attempt, idx))
+        for uid, attempt, idx in due:
+            held = self._awaiting.get(uid)
+            if held is None:
+                self._retry.pop(uid, None)
+                continue
+            update = held[0]
+            idx = (idx + 1) % len(self.sequencer_group)
+            self._retry[uid] = (now, attempt + 1, idx)
+            self.seq_retries += 1
+            self.send(self.sequencer_group[idx],
+                      SeqRequest(replace(update, value=None)))
 
     # ------------------------------------------------------------------
     # Update path
@@ -94,6 +142,7 @@ class SeqPartition(EunomiaPartition):
             commit_time=self.now, value_bytes=msg.value_bytes,
         )
         self._awaiting[update.uid] = (update, src, msg.request_id)
+        self._retry[update.uid] = (self.now, 0, 0)
         self.send(self.sequencer, SeqRequest(replace(update, value=None)))
         # Ship the payload immediately (as EunomiaKV does): remote partitions
         # pair it with the sequencer-ordered metadata by uid, so the final
@@ -108,6 +157,7 @@ class SeqPartition(EunomiaPartition):
             self.send(src, ClientUpdateReply(msg.client_vts, msg.request_id))
 
     def on_seq_reply(self, msg: SeqReply, src: Process) -> None:
+        self._retry.pop(msg.uid, None)
         held = self._awaiting.pop(msg.uid, None)
         if held is None:
             return
@@ -156,10 +206,14 @@ class SequencerProtocol(ProtocolSpec):
                                site.dc_id, calibration=site.calibration,
                                metrics=site.metrics)]
         else:
+            # Geo deployments get the self-repairing chain: heartbeats,
+            # dynamic head/tail, standby failover.  (Direct construction via
+            # build_chain defaults to the static §7.1 chain.)
             nodes = build_chain(site.env, site.dc_id, chain_length,
                                 calibration=site.calibration,
                                 metrics=site.metrics,
-                                name_prefix=f"dc{site.dc_id}/chain")
+                                name_prefix=f"dc{site.dc_id}/chain",
+                                repair=True)
         receiver = Receiver(site.env, f"dc{site.dc_id}/receiver", site.dc_id,
                             site.n_dcs,
                             check_interval=config.receiver_check_interval,
@@ -173,6 +227,7 @@ class SequencerProtocol(ProtocolSpec):
         ]
         for partition in partitions:
             partition.set_sequencer(nodes[0])      # requests enter at the head
+            partition.set_sequencer_group(nodes)   # retries may hit standbys
         receiver.set_partitions(site.ring, partitions)
         return SitePlan(partitions=partitions, extras=nodes,
                         receiver=receiver, propagators=[nodes[-1]])

@@ -26,13 +26,20 @@ from ..core.messages import RemoteStableBatch
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
 from ..sim.process import CostModel, Process
-from .messages import ChainForward, SeqRequest, SeqReply
+from .messages import ChainAlive, ChainForward, SeqRequest, SeqReply
 
 __all__ = ["Sequencer", "ChainSequencerNode", "build_chain"]
 
 
 class Sequencer(Process):
-    """Non-fault-tolerant sequencer: one counter, one service queue."""
+    """Non-fault-tolerant sequencer: one counter, one service queue.
+
+    Requests are deduplicated by update uid: partitions retry requests that
+    time out (a crashed sequencer drops everything in flight), and a retry
+    racing a slow reply must not burn a second number for the same update —
+    the duplicate is answered with the original assignment and a re-ship
+    (remote receivers dedup, so re-shipping is exactly-once downstream).
+    """
 
     def __init__(self, env: Environment, name: str, site: int,
                  calibration: Optional[Calibration] = None,
@@ -47,12 +54,21 @@ class Sequencer(Process):
         self.counter = 0
         self.destinations: list[Process] = []
         self.assign_mark = assign_mark or f"seq_assigned:dc{site}"
+        self._assigned: dict[tuple, object] = {}   # uid -> stamped update
+        self.duplicate_requests = 0
 
     def add_destination(self, dest: Process) -> None:
         self.destinations.append(dest)
 
     def on_seq_request(self, msg: SeqRequest, src: Process) -> None:
+        prior = self._assigned.get(msg.update.uid)
+        if prior is not None:
+            self.duplicate_requests += 1
+            self._ship(prior)
+            self.send(src, SeqReply(prior.uid, prior.vts))
+            return
         update = self._assign(msg.update)
+        self._assigned[update.uid] = update
         self._ship(update)
         self.send(src, SeqReply(update.uid, update.vts))
 
@@ -76,13 +92,27 @@ class ChainSequencerNode(Process):
     Roles by position: the *head* assigns numbers, every node logs the
     assignment (so any prefix survives a suffix crash), the *tail* ships to
     remote receivers and answers the requesting partition.
+
+    With ``repair=True`` the roles become *dynamic*: nodes exchange
+    membership heartbeats, and the surviving nodes re-form the chain around
+    any crashed link — the lowest live position assigns, each node forwards
+    to the next live position, the highest live position ships and replies.
+    Counter safety rests on two invariants: every node folds each traversing
+    assignment into its own counter (so any externally visible number has
+    been observed by every survivor that could become head), and a
+    rejoining node stays silent — holding, not serving, requests — for one
+    suspect timeout while peer heartbeats (which carry counters) catch it
+    up, so a recovered ex-head can never hand out a duplicate number.
     """
 
     def __init__(self, env: Environment, name: str, site: int, position: int,
                  chain_length: int,
                  calibration: Optional[Calibration] = None,
                  metrics: Optional[MetricsHub] = None,
-                 assign_mark: Optional[str] = None):
+                 assign_mark: Optional[str] = None,
+                 repair: bool = False,
+                 alive_interval: float = 0.05,
+                 suspect_timeout: float = 0.16):
         cal = calibration or Calibration()
         if position == 0:
             per_request = cal.cost("chain_head")
@@ -103,54 +133,187 @@ class ChainSequencerNode(Process):
         self.successor: Optional[Process] = None
         self.destinations: list[Process] = []
         self.assign_mark = assign_mark or f"seq_assigned:dc{site}"
+        # --- chain repair (inactive, zero-cost, unless repair=True) ---
+        self.repair = repair
+        self.alive_interval = alive_interval
+        self.suspect_timeout = suspect_timeout
+        self.peers: list["ChainSequencerNode"] = []    # roster, by position
+        self._peer_seen: dict[int, float] = {}
+        self._assigned: dict[tuple, object] = {}       # head dedup
+        self._logged: set = set()
+        self._rejoin_until = 0.0
+        self._held: list[tuple] = []                   # requests during rejoin
+        self.duplicate_requests = 0
 
     @property
     def is_head(self) -> bool:
+        if self.repair and self.peers:
+            return self._alive_positions()[0] == self.position
         return self.position == 0
 
     @property
     def is_tail(self) -> bool:
+        if self.repair and self.peers:
+            return self._alive_positions()[-1] == self.position
         return self.position == self.chain_length - 1
 
     def add_destination(self, dest: Process) -> None:
         self.destinations.append(dest)
 
+    # ------------------------------------------------------------------
+    # Membership (repairable chains)
+    # ------------------------------------------------------------------
+    def set_chain_peers(self, nodes: list) -> None:
+        """Give the node the full chain roster (repair mode wiring)."""
+        self.peers = list(nodes)
+
+    def start(self) -> None:
+        if not self.repair:
+            return
+        now = self.now
+        for node in self.peers:
+            if node.position != self.position:
+                self._peer_seen[node.position] = now
+        self.periodic(self.alive_interval, self._gossip_alive, phase=0.0)
+
+    def recover(self) -> None:
+        """Rejoin the chain after a crash: silent catch-up, then serve.
+
+        For one suspect timeout the node sends no heartbeats (so peers keep
+        treating it as down and the interim chain keeps serving) and holds
+        any requests routed to it; meanwhile incoming heartbeats and
+        traversing assignments raise its counter past everything assigned
+        while it was away.  Only then does it drain the held requests and
+        resume its (possibly head) role.
+        """
+        super().recover()
+        if not self.repair:
+            return
+        now = self.now
+        self._rejoin_until = now + self.suspect_timeout
+        self.start()
+        self.after(self.suspect_timeout, self._end_rejoin)
+
+    def _gossip_alive(self) -> None:
+        if self.now < self._rejoin_until:
+            return
+        beat = ChainAlive(self.position, self.counter)
+        self.multicast([p for p in self.peers
+                        if p.position != self.position], beat)
+
+    def on_chain_alive(self, msg: ChainAlive, src: Process) -> None:
+        self._peer_seen[msg.position] = self.now
+        if msg.counter > self.counter:
+            self.counter = msg.counter
+
+    def _alive_positions(self) -> list[int]:
+        now = self.now
+        alive = [self.position]
+        for pos, seen in self._peer_seen.items():
+            if now - seen <= self.suspect_timeout:
+                alive.append(pos)
+        return sorted(alive)
+
+    def _node_at(self, position: int) -> "ChainSequencerNode":
+        return self.peers[position]
+
+    def _end_rejoin(self) -> None:
+        held, self._held = self._held, []
+        for update, requester in held:
+            self._accept_request(update, requester)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
     def on_seq_request(self, msg: SeqRequest, src: Process) -> None:
-        if not self.is_head:
-            raise RuntimeError(f"{self.name}: requests must enter at the head")
-        self.counter += 1
-        m = self.site
-        update = msg.update
-        vts = update.vts[:m] + (self.counter,) + update.vts[m + 1:]
-        stamped = replace(update, ts=self.counter, vts=vts)
-        self._record_and_pass(stamped, requester=src)
+        self._accept_request(msg.update, src)
 
     def on_chain_forward(self, msg: ChainForward, src: Process) -> None:
+        if msg.update.ts == 0:
+            # Not yet assigned: a redirect from a non-head node (or a held
+            # request drained after rejoin) looking for the current head.
+            self._accept_request(msg.update, msg.requester)
+            return
         self._record_and_pass(msg.update, requester=msg.requester)
 
+    def _accept_request(self, update, requester: Process) -> None:
+        if not self.is_head:
+            if self.repair:
+                # Route to whoever heads the repaired chain right now — a
+                # partition retrying against a standby still gets served.
+                head = self._node_at(self._alive_positions()[0])
+                self.send(head, ChainForward(update, requester))
+                return
+            raise RuntimeError(f"{self.name}: requests must enter at the head")
+        if self.repair and self.now < self._rejoin_until:
+            self._held.append((update, requester))
+            return
+        prior = self._assigned.get(update.uid)
+        if prior is not None:
+            # Retried request for an assignment already made: re-traverse
+            # the (repaired) chain so it reaches the tail even if the
+            # original traversal died with a crashed link.  Dedup below
+            # keeps logs exactly-once; receivers dedup the re-ship.
+            self.duplicate_requests += 1
+            self._record_and_pass(prior, requester)
+            return
+        self.counter += 1
+        m = self.site
+        vts = update.vts[:m] + (self.counter,) + update.vts[m + 1:]
+        stamped = replace(update, ts=self.counter, vts=vts)
+        if self.repair:
+            self._assigned[update.uid] = stamped
+        self._record_and_pass(stamped, requester=requester)
+
     def _record_and_pass(self, update, requester: Process) -> None:
-        self.log.append(update.uid)
+        if update.uid not in self._logged:
+            self._logged.add(update.uid)
+            self.log.append(update.uid)
+        if update.ts > self.counter:
+            # Fold traversing assignments into the counter: any number that
+            # ever reached the tail (and was thus shipped or replied) has
+            # passed through every live node, so whichever of them becomes
+            # head next continues strictly above it.
+            self.counter = update.ts
         if self.is_tail:
             self.metrics.mark(self.assign_mark, self.now)
             batch = RemoteStableBatch(self.site, (update,))
             self.multicast(self.destinations, batch)
             self.send(requester, SeqReply(update.uid, update.vts))
         else:
-            self.send(self.successor, ChainForward(update, requester))
+            successor = self.successor
+            if self.repair and self.peers:
+                alive = self._alive_positions()
+                successor = self._node_at(alive[alive.index(self.position) + 1])
+            self.send(successor, ChainForward(update, requester))
 
 
 def build_chain(env: Environment, site: int, length: int,
                 calibration: Optional[Calibration] = None,
                 metrics: Optional[MetricsHub] = None,
-                name_prefix: str = "chain") -> list[ChainSequencerNode]:
-    """Create and link a sequencer chain; returns [head, ..., tail]."""
+                name_prefix: str = "chain",
+                repair: bool = False,
+                alive_interval: float = 0.05,
+                suspect_timeout: float = 0.16) -> list[ChainSequencerNode]:
+    """Create and link a sequencer chain; returns [head, ..., tail].
+
+    ``repair=True`` builds a self-repairing chain: nodes heartbeat each
+    other and dynamically re-form around crashed links (see
+    :class:`ChainSequencerNode`).  Off by default — a repairable chain
+    exchanges membership traffic even when healthy.
+    """
     if length < 1:
         raise ValueError("chain needs at least one node")
     nodes = [
         ChainSequencerNode(env, f"{name_prefix}{i}", site, i, length,
-                           calibration=calibration, metrics=metrics)
+                           calibration=calibration, metrics=metrics,
+                           repair=repair, alive_interval=alive_interval,
+                           suspect_timeout=suspect_timeout)
         for i in range(length)
     ]
     for node, successor in zip(nodes, nodes[1:]):
         node.successor = successor
+    if repair:
+        for node in nodes:
+            node.set_chain_peers(nodes)
     return nodes

@@ -28,6 +28,8 @@ class NtpSynchronizer:
         self._clocks: list[PhysicalClock] = []
         self._rng = env.rng.stream("ntp")
         self._task = None
+        self._suspended = False
+        self.corrections_skipped = 0
 
     def manage(self, clock: PhysicalClock) -> PhysicalClock:
         """Register ``clock`` for periodic correction; returns it unchanged."""
@@ -37,7 +39,23 @@ class NtpSynchronizer:
                                                          self._sync)
         return clock
 
+    def suspend(self) -> None:
+        """NTP outage: stop disciplining until :meth:`resume`.
+
+        Offsets re-grow at each clock's full drift rate, unbounded — the
+        regime where physical-clock stabilization degrades with skew while
+        hybrid clocks stay safe (the paper's headline clock axis).
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """End an outage: the next periodic tick disciplines again."""
+        self._suspended = False
+
     def _sync(self) -> None:
+        if self._suspended:
+            self.corrections_skipped += 1
+            return
         for clock in self._clocks:
             clock.ntp_correct(self._rng.uniform(-self.residual_us, self.residual_us))
 

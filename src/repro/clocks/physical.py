@@ -66,6 +66,31 @@ class PhysicalClock:
         true_us = self.env.loop.now * US
         return true_us * (self.drift_ppm / 1e6) + self.offset_us
 
+    def set_drift(self, drift_ppm: float) -> None:
+        """Re-rate the oscillator without stepping the current reading.
+
+        Fault injection mutates drift mid-run (thermal events, a VM landing
+        on a worse host).  A naive ``self.drift_ppm = x`` would be
+        retroactive — the new rate re-scales all *past* true time, stepping
+        the phase by an amount proportional to how long the run has been
+        going.  Rebasing the offset keeps the reading continuous: only time
+        *after* this instant accumulates at the new rate.
+        """
+        true_us = self.env.loop.now * US
+        current = true_us * (1.0 + self.drift_ppm / 1e6) + self.offset_us
+        self.drift_ppm = drift_ppm
+        self.offset_us = current - true_us * (1.0 + drift_ppm / 1e6)
+
+    def step_us(self, delta_us: float) -> None:
+        """Step the phase by ``delta_us`` (fault injection).
+
+        Positive steps jump the reading forward immediately; negative steps
+        are absorbed by the monotone read clamp (the clock holds still until
+        true time catches up — the slewing behaviour a sane clock discipline
+        exhibits, and what keeps Property 2 intact under injected steps).
+        """
+        self.offset_us += delta_us
+
     def ntp_correct(self, residual_us: float) -> None:
         """Discipline the clock: reset accumulated offset to ``residual_us``.
 

@@ -53,6 +53,20 @@ class EunomiaConfig:
     #: feedback loop no real implementation would ship.
     resend_timeout: float = 0.05
 
+    #: Retry-with-backoff shape shared by the recovery idioms (uplink
+    #: retransmission escalation, failed-fsync commit retries, sequencer
+    #: request retries): each consecutive failure doubles the wait, capped.
+    #: The cap is the *bounded timeout* — no retry loop ever waits longer,
+    #: so recovery latency after the fault clears is bounded by it.
+    retry_backoff_base: float = 0.002
+    retry_backoff_cap: float = 0.1
+
+    #: Sequencer-request retry timeout: a partition (or load client) that
+    #: has waited this long for a SeqReply re-issues the request — to the
+    #: next sequencer-group member, round-robin, with the backoff above —
+    #: closing the "sequencer crash strands every in-flight request" stall.
+    seq_retry_timeout: float = 0.05
+
     #: Ω failure-detector timing for replica leader election.
     replica_alive_interval: float = 0.5
     replica_suspect_timeout: float = 1.6
@@ -126,6 +140,12 @@ class EunomiaConfig:
                 raise ValueError(f"{name} must be positive")
         if self.replica_suspect_timeout <= self.replica_alive_interval:
             raise ValueError("suspect timeout must exceed the alive interval")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry backoff base must be positive")
+        if self.retry_backoff_cap < self.retry_backoff_base:
+            raise ValueError("retry backoff cap must be >= the base")
+        if self.seq_retry_timeout <= 0:
+            raise ValueError("sequencer retry timeout must be positive")
         if self.use_propagation_tree and self.fault_tolerant:
             raise ValueError(
                 "the propagation tree coalesces the uplink, which is "

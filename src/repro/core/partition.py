@@ -101,6 +101,19 @@ class EunomiaPartition(Process):
     def start(self) -> None:
         self.uplink.start()
 
+    def recover(self) -> None:
+        """Restart after a crash-stop *and re-arm the uplink tick*.
+
+        The crash epoch retired the uplink's periodic flush; without this
+        override a recovered partition would accept client updates but
+        never ship them, freezing its entry of PartitionTime — and with it
+        the whole DC's StableTime — forever (the uplink single-point
+        stall).  ``restart`` also resets retransmission backoff so
+        outstanding windows are re-offered to the replicas immediately.
+        """
+        super().recover()
+        self.uplink.restart()
+
     def lane_of(self, msg) -> str:
         """Remote replication work runs on a background lane.
 

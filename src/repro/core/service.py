@@ -171,8 +171,13 @@ class StabilizerBase(Process):
 
     def _write_checkpoint(self, checkpoint) -> None:
         # Flush first so the checkpoint never refers past the durable log,
-        # then truncate below the shipped floor the snapshot recorded.
-        self.wal.commit()
+        # then truncate below the shipped floor the snapshot recorded.  A
+        # failed flush (injected fsync error) skips the whole round: writing
+        # the snapshot anyway could truncate records whose covering flush
+        # never happened.  The next tick retries with a fresh snapshot, so
+        # checkpoint staleness is bounded by the checkpoint interval.
+        if self.wal.commit() < 0:
+            return
         self.checkpoints.write(checkpoint)
         self.wal.truncate(checkpoint.floor)
 
@@ -306,9 +311,29 @@ class StabilizerBase(Process):
         self._enqueue(lambda: self._commit_and_ack(src, ack),
                       cost + self.ack_cost, lane="disk")
 
-    def _commit_and_ack(self, src: Process, ack: BatchAck) -> None:
-        self.wal.commit()
+    def _commit_and_ack(self, src: Process, ack: BatchAck,
+                        attempt: int = 0) -> None:
+        if self.wal.commit() < 0:
+            # Injected fsync error.  The ack implies durability, so it is
+            # withheld and the flush retried with capped exponential backoff
+            # (the records stay staged; a later batch's commit may cover
+            # them first, in which case the retry commits nothing and just
+            # releases the ack).  The uplink keeps retransmitting meanwhile
+            # — at-least-once delivery makes that safe — and acknowledgement
+            # resumes within one backoff cap of the disk healing.
+            delay = min(self.config.retry_backoff_base * (1 << attempt),
+                        self.config.retry_backoff_cap)
+            self.after(delay, self._retry_commit, src, ack, attempt + 1)
+            return
         self.send(src, ack)
+
+    def _retry_commit(self, src: Process, ack: BatchAck,
+                      attempt: int) -> None:
+        # Re-pay the barrier on the disk lane (flush_cost was reset by the
+        # failed commit, so this charges the full pending bytes again).
+        cost = self.wal.flush_cost()
+        self._enqueue(lambda: self._commit_and_ack(src, ack, attempt),
+                      cost + self.ack_cost, lane="disk")
 
     def on_stable_announce(self, msg: StableAnnounce, src: Process) -> None:
         """Follower pruning (Alg. 4 lines 13–15), shared by both shapes.

@@ -61,6 +61,7 @@ class EunomiaUplink:
         self._ack: dict[int, int] = {}         # replica pid -> Ack_n[f]
         self._sent: dict[int, int] = {}        # replica pid -> max ts ever sent
         self._retx_due: dict[int, float] = {}  # replica pid -> next retx time
+        self._retx_strikes: dict[int, int] = {}  # consecutive unacked resends
         self._nonft_last_sent = 0              # stream position, non-FT mode
         self._tick_task = None
         self.ops_shipped = 0
@@ -76,6 +77,7 @@ class EunomiaUplink:
             self._ack.setdefault(replica.pid, 0)
             self._sent.setdefault(replica.pid, 0)
             self._retx_due.setdefault(replica.pid, float("inf"))
+            self._retx_strikes.setdefault(replica.pid, 0)
 
     def start(self) -> None:
         """Arm the periodic batch/heartbeat tick.
@@ -87,6 +89,43 @@ class EunomiaUplink:
         """
         self._tick_task = self.host.periodic(
             lambda: self.host.batch_interval, self._flush)
+
+    def restart(self) -> None:
+        """Re-arm after the host recovers from a crash.
+
+        The host's crash epoch retired the old tick chain, so a recovered
+        partition that never calls this ships nothing ever again — the
+        uplink single-point stall.  No-op for hosts that never armed the
+        tick (S-Seq partitions ship through the sequencer instead).
+
+        Retransmission state is reset to *probe promptly*: any replica with
+        an outstanding window is due for retransmission immediately and the
+        backoff escalation starts over, so a peer that recovered while this
+        host was down is re-fed within one batch tick instead of one
+        (escalated) stall timeout.
+        """
+        if self._tick_task is None:
+            return
+        self._tick_task.stop()
+        now = self.host.now
+        for pid, due in self._retx_due.items():
+            self._retx_strikes[pid] = 0
+            if due != float("inf"):
+                self._retx_due[pid] = now
+        self.start()
+
+    def _stall_timeout(self, pid: int) -> float:
+        """Current retransmission timeout for a replica: the configured
+        resend timeout, doubling per consecutive unacknowledged resend up
+        to the bounded-backoff cap — a dead or partitioned replica is
+        probed ever more gently, never abandoned, and the cap bounds how
+        stale the probe cadence can be when the replica returns."""
+        strikes = self._retx_strikes.get(pid, 0)
+        base = self.config.resend_timeout
+        if not strikes:
+            return base
+        return min(base * (1 << strikes),
+                   max(base, self.config.retry_backoff_cap))
 
     # ------------------------------------------------------------------
     # Producer side (called by the host partition)
@@ -109,8 +148,10 @@ class EunomiaUplink:
         """Handle a replica's cumulative acknowledgement (Alg. 4 line 5)."""
         if msg.ack_ts > self._ack.get(src.pid, 0):
             self._ack[src.pid] = msg.ack_ts
-            # Progress resets the retransmission clock: retransmit only
-            # when a replica's acknowledgements actually stall.
+            # Progress resets the retransmission clock (and the backoff
+            # escalation): retransmit only when a replica's
+            # acknowledgements actually stall.
+            self._retx_strikes[src.pid] = 0
             if self._ack[src.pid] >= self._sent.get(src.pid, 0):
                 self._retx_due[src.pid] = float("inf")
             else:
@@ -154,14 +195,18 @@ class EunomiaUplink:
         n_new = sum(1 for op in ops if op.ts > sent)
         if retransmit:
             self.retransmissions += 1
+            self._retx_strikes[pid] = self._retx_strikes.get(pid, 0) + 1
         if ops[-1].ts > sent:
             self._sent[pid] = ops[-1].ts
         # Arm the stall timer for the *oldest* unacked transmission: only
         # when idle (nothing was outstanding) or when the timer just fired.
         # Re-arming on every send would let a steady stream of new batches
-        # postpone recovery of a lost one indefinitely.
+        # postpone recovery of a lost one indefinitely.  The timeout
+        # escalates with consecutive fruitless resends (capped backoff), so
+        # a long-dead replica is not blasted with the full window every
+        # resend_timeout.
         if retransmit or self._retx_due[pid] == float("inf"):
-            self._retx_due[pid] = self.host.now + self.config.resend_timeout
+            self._retx_due[pid] = self.host.now + self._stall_timeout(pid)
         self._transmit(replica, ops, n_new, prev_ts=start_from)
 
     def _transmit(self, replica: Process, ops: tuple, n_new: int,

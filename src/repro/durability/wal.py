@@ -96,7 +96,8 @@ class WriteAheadLog:
     __slots__ = ("name", "disk", "codec", "records", "_staged",
                  "_staged_bytes", "_scheduled_bytes", "_last_staged_ts",
                  "_last_durable_ts", "appends", "commits", "bytes_durable",
-                 "records_truncated")
+                 "records_truncated", "_fail_fsyncs", "fsync_failures",
+                 "records_torn")
 
     def __init__(self, name: str, disk: Optional[DiskModel] = None,
                  codec: str = DEFAULT_WAL_CODEC):
@@ -119,6 +120,9 @@ class WriteAheadLog:
         self.commits = 0
         self.bytes_durable = 0
         self.records_truncated = 0
+        self._fail_fsyncs = 0               # injected: next N commits fail
+        self.fsync_failures = 0
+        self.records_torn = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -193,8 +197,53 @@ class WriteAheadLog:
         self._scheduled_bytes = self._staged_bytes
         return self.disk.fsync_cost(delta)
 
+    def fail_fsyncs(self, count: int) -> None:
+        """Inject fsync errors: the next ``count`` commits fail (return -1).
+
+        A failed commit leaves every staged record volatile and resets the
+        scheduled-bytes mark, so a retry re-pays the full flush cost —
+        exactly what re-issuing a failed fsync costs a real log.  Callers
+        honouring the ack-after-fsync invariant must withhold the batch
+        acknowledgement and retry (with backoff) until a commit succeeds.
+        """
+        self._fail_fsyncs += count
+
+    def tear_tail(self, records: int) -> int:
+        """Torn write: drop up to ``records`` records off the durable tail.
+
+        Models a tail the device never actually persisted, discovered when
+        the log is re-opened after a crash — so it should be injected
+        together with an amnesia crash of the owner.  The delta chain and
+        byte counters are rebased to the surviving tail.  Returns the
+        number of records actually torn.
+        """
+        torn = min(records, len(self.records))
+        if torn:
+            del self.records[len(self.records) - torn:]
+            self.records_torn += torn
+            # The chain tail a re-opened file would delta against is the
+            # last *surviving* op/PT timestamp.
+            tail_ts = 0
+            for record in reversed(self.records):
+                tail_ts = record[1] if record[0] == OP_RECORD else record[2]
+                break
+            self._last_durable_ts = tail_ts
+            if not self._staged:
+                self._last_staged_ts = tail_ts
+        return torn
+
     def commit(self) -> int:
-        """Make everything staged durable; returns the record count moved."""
+        """Make everything staged durable; returns the record count moved.
+
+        Returns ``-1`` when an injected fsync error fires: nothing staged
+        becomes durable and the next :meth:`flush_cost` re-charges the full
+        pending bytes (the retry pays a fresh barrier).
+        """
+        if self._fail_fsyncs > 0:
+            self._fail_fsyncs -= 1
+            self.fsync_failures += 1
+            self._scheduled_bytes = 0
+            return -1
         moved = len(self._staged)
         if moved:
             self.records.extend(self._staged)
@@ -236,12 +285,29 @@ class WriteAheadLog:
     def replay(self, partition_time: list[int], floor_ts: int) -> list[tuple]:
         """Fold durable records into ``partition_time`` (mutated in place);
         return the op entries above ``floor_ts`` as ``(ts, origin, seq, op)``
-        tuples in acceptance order (per-origin monotone)."""
+        tuples in acceptance order (per-origin monotone).
+
+        Replay *validates* the log while folding it: op records must be
+        strictly increasing in timestamp per origin (the Algorithm 3 FIFO
+        contract every durable log upholds by construction), so a corrupt
+        or mis-truncated log — e.g. a torn tail that removed a middle
+        record rather than a suffix — fails loudly here instead of
+        poisoning the :class:`repro.datastruct.runbuffer.RunBuffer`
+        invariants downstream."""
         ops = []
+        last_per_origin: dict[int, int] = {}
         for record in self.records:
             tag, a, b = record[0], record[1], record[2]
             if tag == OP_RECORD:
                 # a=ts, b=origin
+                previous = last_per_origin.get(b, -1)
+                if a <= previous:
+                    raise ValueError(
+                        f"WAL {self.name!r}: replay found non-monotone "
+                        f"records for origin {b} ({a} after {previous}) — "
+                        "log corrupt"
+                    )
+                last_per_origin[b] = a
                 if a > partition_time[b]:
                     partition_time[b] = a
                 if a > floor_ts:

@@ -71,13 +71,17 @@ class GeoSystem:
 
     def __init__(self, env: Environment, spec: GeoSystemSpec,
                  metrics: MetricsHub, datacenters: Sequence,
-                 clients: Sequence[SessionClient], protocol: str):
+                 clients: Sequence[SessionClient], protocol: str,
+                 ntp=None):
         self.env = env
         self.spec = spec
         self.metrics = metrics
         self.datacenters = list(datacenters)
         self.clients = list(clients)
         self.protocol = protocol
+        #: the NTP synchronizer disciplining every site clock (None for
+        #: hand-assembled systems) — the chaos DSL's ntp_outage target
+        self.ntp = ntp
         self._started = False
         self._run_start = 0.0
         self._run_end = 0.0
@@ -211,7 +215,7 @@ def build_geo_system(protocol: Union[str, ProtocolSpec],
                 history=history,
             ))
     return GeoSystem(env, spec, metrics, datacenters, clients,
-                     protocol=proto.name)
+                     protocol=proto.name, ntp=ntp)
 
 
 def build_eunomia_system(spec: GeoSystemSpec,

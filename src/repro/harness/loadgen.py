@@ -21,7 +21,7 @@ Throughput is read from the service-side marks: ``eunomia_stable:dc0``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..calibration import Calibration
@@ -108,6 +108,13 @@ class PartitionEmulator(Process):
         self.uplink.start()
         self._enqueue(self._generate, self.gen_cost)
 
+    def recover(self) -> None:
+        """Rejoin after a crash: re-arm the uplink and restart the loop."""
+        super().recover()
+        self.uplink.restart()
+        if not self._stopped:
+            self._enqueue(self._generate, self.gen_cost)
+
     def stop(self) -> None:
         """Stop generating load; the uplink stays alive and drains."""
         self._stopped = True
@@ -130,18 +137,33 @@ class PartitionEmulator(Process):
 
 
 class SequencerLoadClient(Process):
-    """Closed-loop driver of a (possibly chain-replicated) sequencer."""
+    """Closed-loop driver of a (possibly chain-replicated) sequencer.
+
+    Fault-tolerant like the real partitions: an in-flight request that
+    outlives ``retry_timeout`` is re-sent — round-robin through ``group``
+    when one is supplied (the chain standbys) — with capped exponential
+    backoff, and a late original reply racing the retry's is deduplicated
+    by uid so one request never completes twice.
+    """
 
     def __init__(self, env: Environment, name: str, index: int,
                  head: Process,
-                 calibration: Optional[Calibration] = None):
+                 calibration: Optional[Calibration] = None,
+                 group: Optional[list] = None,
+                 retry_timeout: float = 0.05):
         super().__init__(env, name, site=0)
         cal = calibration or Calibration()
         self.index = index
         self.head = head
+        self.group: list[Process] = list(group) if group else [head]
+        self.retry_timeout = retry_timeout
         self.gen_cost = cal.cost("emulated_partition_gen")
         self._seq = 0
+        self._outstanding = None        # uid of the in-flight request
+        self._target_idx = 0
         self.completed = 0
+        self.retries = 0
+        self.duplicate_replies = 0
 
     def start(self) -> None:
         self._enqueue(self._request, self.gen_cost)
@@ -153,9 +175,27 @@ class SequencerLoadClient(Process):
             partition_index=self.index, seq=self._seq, ts=0, vts=(0,),
             commit_time=self.now,
         )
-        self.send(self.head, SeqRequest(update))
+        self._outstanding = update.uid
+        self._target_idx = 0
+        self.send(self.group[0], SeqRequest(update))
+        self.after(self.retry_timeout, self._maybe_retry, update, 0)
+
+    def _maybe_retry(self, update, attempt: int) -> None:
+        if self._outstanding != update.uid:
+            return                      # answered meanwhile — timer is moot
+        self.retries += 1
+        self._target_idx = (self._target_idx + 1) % len(self.group)
+        self.send(self.group[self._target_idx],
+                  SeqRequest(replace(update, value=None)))
+        delay = min(self.retry_timeout * (1 << (attempt + 1)),
+                    max(self.retry_timeout, 0.5))
+        self.after(delay, self._maybe_retry, update, attempt + 1)
 
     def on_seq_reply(self, msg: SeqReply, src: Process) -> None:
+        if msg.uid != self._outstanding:
+            self.duplicate_replies += 1
+            return
+        self._outstanding = None
         self.completed += 1
         self._enqueue(self._request, self.gen_cost)
 

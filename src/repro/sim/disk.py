@@ -25,7 +25,8 @@ __all__ = ["DiskModel"]
 class DiskModel:
     """Fsync/replay cost model, in seconds (one device per process)."""
 
-    __slots__ = ("fsync_latency_s", "byte_time_s", "replay_record_s")
+    __slots__ = ("fsync_latency_s", "byte_time_s", "replay_record_s",
+                 "_slowdown")
 
     def __init__(self, fsync_latency_s: float = 30e-6,
                  byte_time_s: float = 1e-9,
@@ -33,6 +34,20 @@ class DiskModel:
         self.fsync_latency_s = fsync_latency_s
         self.byte_time_s = byte_time_s
         self.replay_record_s = replay_record_s
+        self._slowdown = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Enter (or leave, with ``factor=1.0``) gray-failure mode.
+
+        Every subsequent fsync costs ``factor``× its normal time: the device
+        is slow-not-dead, so WAL group commits stall — and with them every
+        ack-after-fsync acknowledgement — without any crash a failure
+        detector could see.  Idempotent; the factor replaces (not stacks
+        with) any previous degradation.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1.0")
+        self._slowdown = factor
 
     @classmethod
     def from_calibration(cls, cal) -> "DiskModel":
@@ -45,7 +60,10 @@ class DiskModel:
 
     def fsync_cost(self, n_bytes: int) -> float:
         """One flush barrier covering ``n_bytes`` of staged log records."""
-        return self.fsync_latency_s + n_bytes * self.byte_time_s
+        cost = self.fsync_latency_s + n_bytes * self.byte_time_s
+        if self._slowdown != 1.0:
+            cost *= self._slowdown
+        return cost
 
     def replay_cost(self, n_records: int) -> float:
         """Sequential re-read + re-apply of ``n_records`` log records."""

@@ -92,6 +92,30 @@ class Network:
         if both_ways:
             self._blocked.discard((dst.pid, src.pid))
 
+    def partition(self, group_a: Iterable[Process], group_b: Iterable[Process],
+                  symmetric: bool = True) -> None:
+        """Partition two node sets: block every ``a → b`` link.
+
+        ``symmetric=True`` (the default) blocks ``b → a`` too — a clean
+        split.  ``symmetric=False`` blocks only ``a → b``, modelling
+        *asymmetric reachability*: ``b``'s traffic still reaches ``a``, but
+        ``a`` has gone silent from ``b``'s point of view — the regime in
+        which Ω-style failure detectors can split-brain.  Links within a
+        group are untouched; already-in-flight messages still deliver
+        (partitions drop at send time, like crash-stop).
+        """
+        for a in group_a:
+            for b in group_b:
+                self.disconnect(a, b, both_ways=symmetric)
+
+    def heal(self, group_a: Iterable[Process],
+             group_b: Iterable[Process]) -> None:
+        """Restore both directions between two node sets (idempotent; also
+        heals partitions that were created asymmetric)."""
+        for a in group_a:
+            for b in group_b:
+                self.reconnect(a, b, both_ways=True)
+
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------

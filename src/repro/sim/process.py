@@ -206,11 +206,16 @@ class Process:
 
         Equivalence contract: the observable behaviour must match ``msgs``
         being delivered back to back at the same instant.  Free messages
-        (zero service cost, one shared lane) dispatch inline — one event
-        replaces the whole per-message ``_enqueue`` fan — which is where
-        batched delivery earns its throughput.  Any message with a nonzero
-        cost falls back to the exact per-message service-queue path, since
-        merging *those* would move their individual completion times.
+        (zero service cost, one shared lane) dispatch as one merged group —
+        a single event replaces the whole per-message ``_enqueue`` fan —
+        which is where batched delivery earns its throughput.  The group
+        run is scheduled one hop later (like ``_enqueue``'s zero-cost run),
+        not dispatched inline: per-message delivery always takes two hops,
+        so an inline dispatch would let the group overtake a same-time
+        single message whose run event is already queued.  Any message
+        with a nonzero cost falls back to the exact per-message
+        service-queue path, since merging *those* would move their
+        individual completion times.
         """
         if self.crashed:
             return
@@ -220,15 +225,19 @@ class Process:
         if not any(costs):
             lanes = {lane_of(msg) for msg in msgs}
             if len(lanes) == 1 and not self._lane_busy.get(lanes.pop(), 0.0) > self.now:
-                dispatch = self._dispatch
                 epoch = self._epoch
-                for msg in msgs:
-                    # A handler may crash (or crash+recover) the process
-                    # mid-batch; the per-message path's _enqueue guard drops
-                    # the remainder, so the inline path must too.
-                    if self.crashed or self._epoch != epoch:
-                        return
-                    dispatch(msg, src)
+
+                def run_group() -> None:
+                    dispatch = self._dispatch
+                    for msg in msgs:
+                        # A handler may crash (or crash+recover) the process
+                        # mid-batch; the per-message path's _enqueue guard
+                        # drops the remainder, so the group run must too.
+                        if self.crashed or self._epoch != epoch:
+                            return
+                        dispatch(msg, src)
+
+                self.env.loop.schedule_at(self.now, run_group)
                 return
         for msg, cost in zip(msgs, costs):
             self._enqueue(lambda m=msg: self._dispatch(m, src), cost,

@@ -1,0 +1,153 @@
+"""Fault-model parity of the batched network entry points.
+
+``Network.send_many`` and ``Network.multicast`` promise to be semantically
+identical to per-message ``send`` — including under every injected fault:
+link loss must consume the network RNG draw-for-draw, disconnected links
+must drop whole batches, and gray-link extra delay must stretch each
+message identically.  These tests run the same traffic through the
+per-message and the batched paths in twin environments (same seed) and
+require bit-identical delivery logs and counters.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ConstantLatency, Environment, Network, Process
+from repro.sim.latency import JitteredLatency
+
+
+@dataclass(slots=True)
+class Ping:
+    seq: int
+    size_bytes: int = 8
+
+
+class Recorder(Process):
+    def __init__(self, env, name):
+        super().__init__(env, name)
+        self.seen: list[tuple[float, int]] = []
+
+    def on_ping(self, msg: Ping, src: Process) -> None:
+        self.seen.append((self.now, msg.seq))
+
+
+def _twin(seed=7, jitter=False):
+    env = Environment(seed=seed)
+    latency = (JitteredLatency(base_s=0.001, jitter_s=0.0004)
+               if jitter else ConstantLatency(0.001))
+    net = Network(env, latency)
+    a, b = Recorder(env, "a"), Recorder(env, "b")
+    return env, net, a, b
+
+
+def _run_traffic(batched: bool, faults, batches, seed=7, jitter=False):
+    """Replay (fault-setup, traffic) through send or send_many."""
+    env, net, a, b = _twin(seed, jitter)
+    faults(net, a, b)
+    seq = 0
+    for size in batches:
+        msgs = [Ping(seq + i) for i in range(size)]
+        seq += size
+        if batched:
+            net.send_many(a, b, msgs)
+        else:
+            for m in msgs:
+                net.send(a, b, m)
+    env.run(until=1.0)
+    return (b.seen, net.messages_sent, net.messages_dropped,
+            net.messages_attempted, net.bytes_sent)
+
+
+def assert_parity(faults, batches, seed=7, jitter=False):
+    solo = _run_traffic(False, faults, batches, seed, jitter)
+    many = _run_traffic(True, faults, batches, seed, jitter)
+    assert solo == many
+
+
+def test_send_many_honors_link_loss():
+    assert_parity(lambda net, a, b: net.set_link_loss(a, b, 0.35),
+                  batches=[1, 4, 9, 2], jitter=True)
+
+
+def test_send_many_honors_disconnect():
+    assert_parity(lambda net, a, b: net.disconnect(a, b),
+                  batches=[3, 5])
+
+
+def test_send_many_honors_extra_delay():
+    assert_parity(lambda net, a, b: net.set_link_extra_delay(a, b, 0.004),
+                  batches=[2, 6, 1], jitter=True)
+
+
+def test_send_many_combined_faults():
+    def faults(net, a, b):
+        net.set_link_loss(a, b, 0.2)
+        net.set_link_extra_delay(a, b, 0.002)
+
+    assert_parity(faults, batches=[8, 8, 8], jitter=True)
+
+
+def test_multicast_honors_faults_per_destination():
+    """multicast = send per destination, including per-link fault state."""
+    def run(use_multicast):
+        env = Environment(seed=11)
+        net = Network(env, JitteredLatency(base_s=0.001, jitter_s=0.0003))
+        src = Recorder(env, "src")
+        dsts = [Recorder(env, f"d{i}") for i in range(3)]
+        net.set_link_loss(src, dsts[0], 0.5)
+        net.disconnect(src, dsts[1])
+        net.set_link_extra_delay(src, dsts[2], 0.003)
+        for i in range(10):
+            if use_multicast:
+                net.multicast(src, dsts, Ping(i))
+            else:
+                for d in dsts:
+                    net.send(src, d, Ping(i))
+        env.run(until=1.0)
+        return [d.seen for d in dsts], net.messages_dropped
+
+    assert run(True) == run(False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),     # batch size
+            st.sampled_from(["none", "loss", "cut", "heal", "gray",
+                             "clear_gray"]),           # fault toggle first
+        ),
+        min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_interleaved_faults_property(plan, seed):
+    """Arbitrary interleavings of fault toggles and batches stay in
+    lockstep between the per-message and the batched paths."""
+    def run(batched):
+        env, net, a, b = _twin(seed, jitter=True)
+        seq = 0
+        for size, toggle in plan:
+            if toggle == "loss":
+                net.set_link_loss(a, b, 0.4)
+            elif toggle == "cut":
+                net.disconnect(a, b)
+            elif toggle == "heal":
+                net.reconnect(a, b)
+            elif toggle == "gray":
+                net.set_link_extra_delay(a, b, 0.002)
+            elif toggle == "clear_gray":
+                net.set_link_extra_delay(a, b, 0.0)
+            msgs = [Ping(seq + i) for i in range(size)]
+            seq += size
+            if batched:
+                net.send_many(a, b, msgs)
+            else:
+                for m in msgs:
+                    net.send(a, b, m)
+        env.run(until=1.0)
+        return (b.seen, net.messages_sent, net.messages_dropped,
+                net.messages_attempted)
+
+    assert run(False) == run(True)

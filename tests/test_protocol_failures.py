@@ -86,26 +86,36 @@ def test_gentlerain_survives_partition_crash():
     assert victim.pending_count() == 0
 
 
-def test_gentlerain_gst_freezes_while_partition_down():
+def test_gentlerain_gst_stall_is_bounded_by_report_timeout():
     """The datacenter-wide min cannot advance past a dead partition's last
-    report — the stall *is* GentleRain's failure mode, and the spine now
-    lets us measure it."""
+    report — but only until the aggregator's freshness gate expires that
+    report (``aggregator_timeout``, default 10 × gst_interval = 50 ms).
+    The unbounded freeze used to be GentleRain's failure mode; now the
+    stall is bounded and the GST resumes while the partition is still down."""
     system = build_system("gentlerain", SPEC, WL)
     victim = system.datacenters[0].partitions[1]
     sibling = system.datacenters[0].partitions[0]
     samples = {}
     schedule = system.failures()
     schedule.crash_at(CRASH_AT, victim)
-    schedule.at(CRASH_AT + 0.2,
-                lambda: samples.__setitem__("frozen", sibling.summary),
+    # Within the freshness window the dead partition's stale report pins
+    # the min: the GST is genuinely frozen.
+    schedule.at(CRASH_AT + 0.015,
+                lambda: samples.__setitem__("early", sibling.summary),
                 "sample frozen GST")
-    schedule.at(CRASH_AT + 1.0,
-                lambda: samples.__setitem__("later", sibling.summary),
+    schedule.at(CRASH_AT + 0.045,
+                lambda: samples.__setitem__("pinned", sibling.summary),
                 "sample GST still frozen")
+    # Past the window the aggregator drops the stale report and the GST
+    # advances again — with the victim still down.
+    schedule.at(CRASH_AT + 0.4,
+                lambda: samples.__setitem__("thawed", sibling.summary),
+                "sample GST past the stall")
     schedule.recover_at(RECOVER_AT + 0.5, victim)
     system.run(3.5)
-    assert samples["later"] == samples["frozen"]        # frozen while down
-    assert sibling.summary > samples["frozen"]          # thawed after rejoin
+    assert samples["pinned"] == samples["early"]        # frozen inside window
+    assert samples["thawed"] > samples["pinned"]        # bounded stall
+    assert sibling.summary > samples["thawed"]          # advancing after rejoin
 
 
 def test_failure_actions_added_mid_run_still_fire():
