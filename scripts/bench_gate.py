@@ -158,13 +158,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gate-wide",
                         default="bench_opbuffer_backend_overload_rig"
                                 "|bench_geo_small_e2e"
-                                "|bench_fig1_motivation_tradeoff_full",
+                                "|bench_fig1_motivation_tradeoff_full"
+                                "|bench_placement_sweep",
                         help="regex: benchmarks gated at the wide "
                              "threshold — the end-to-end suites (overload "
                              "rig: ~±10%% run-to-run; small geo e2e run: "
-                             "±1.7%% stdev / 4.8%% peak-to-peak on an idle "
-                             "machine, but CI runners are far noisier; "
-                             "both measured before gating, per the "
+                             "±1.7%% stdev / 4.8%% peak-to-peak; placement "
+                             "sweep grid: ±5.4%% stdev / 14%% peak-to-peak "
+                             "on an idle machine, but CI runners are far "
+                             "noisier; all measured before gating, per the "
                              "ROADMAP) plus the full-grid Figure 1 run "
                              "the batched sim core made affordable in CI "
                              "(single-round wall clock, so only the wide "

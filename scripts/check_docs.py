@@ -153,6 +153,7 @@ KNOB_TUPLES = [
     (REPO / "src" / "repro" / "sim" / "env.py", "SCHEDULER_BACKENDS"),
     (REPO / "src" / "repro" / "durability" / "wal.py", "WAL_CODECS"),
     (REPO / "src" / "repro" / "harness" / "chaos.py", "FAULT_CLASSES"),
+    (REPO / "src" / "repro" / "core" / "placement.py", "PLACEMENT_POLICIES"),
 ]
 
 

@@ -38,7 +38,13 @@ from ..metrics.collector import MetricsHub
 from ..sim.env import Environment
 from ..sim.process import CostModel
 from ..workload.generator import WorkloadSpec
-from .gst import GstPartition, GstProtocol, GstTimings, check_pending_backend
+from .gst import (
+    GstPartition,
+    GstProtocol,
+    GstTimings,
+    UNTRACKED,
+    check_pending_backend,
+)
 
 __all__ = ["CurePartition", "CureProtocol", "build_cure_system"]
 
@@ -186,7 +192,16 @@ class CurePartition(GstPartition):
 
     # -- stabilization contribution ---------------------------------------
     def _local_summary(self) -> tuple:
-        return tuple(self.vv)
+        # Partial placement: entries for origins this partition does not
+        # track report the UNTRACKED sentinel (+inf under the aggregator's
+        # min), so the DC-wide GSV entry for origin d is bounded only by
+        # the partitions that actually receive d's stream — and is the
+        # sentinel itself when none does, releasing dependencies on d
+        # unconditionally (nothing from d can be resident here then).
+        if self.tracked is None:
+            return tuple(self.vv)
+        return tuple(self.vv[d] if d in self.tracked else UNTRACKED
+                     for d in range(self.n_dcs))
 
 
 class CureProtocol(GstProtocol):

@@ -123,7 +123,13 @@ class GentleRainPartition(GstPartition):
 
     # -- stabilization contribution ---------------------------------------
     def _local_summary(self) -> tuple:
-        return (min(self.vv),)
+        # Partial placement: the scalar minimum spans only the tracked
+        # origins (DCs that also store this partition, plus ourselves) —
+        # an origin with no sibling here sends no heartbeats, and letting
+        # its frozen VV entry into the min would pin the GST at zero.
+        if self.tracked is None:
+            return (min(self.vv),)
+        return (min(self.vv[d] for d in self.tracked),)
 
 
 class GentleRainProtocol(GstProtocol):

@@ -58,7 +58,16 @@ from ..workload.generator import WorkloadSpec
 from .messages import GstBroadcast, GstHeartbeat, GstReport
 
 __all__ = ["GstTimings", "GstPartition", "GstProtocol", "build_gst_system",
-           "check_pending_backend"]
+           "check_pending_backend", "UNTRACKED"]
+
+#: Summary entry for an origin DC a partition does not track (partial
+#: placement: no sibling there).  Acts as +inf under the aggregator's
+#: elementwise min, so untracked origins never cap — and never stall —
+#: the DC-wide GST/GSV.  Releasing on a sentinel entry is safe: if *no*
+#: resident partition tracks origin ``d``, then no partition stored both
+#: here and at ``d`` exists, so no dependency on ``d`` can be resident
+#: here either (it could never be read at this DC).
+UNTRACKED = 1 << 62
 
 
 def check_pending_backend(pending_backend: str, allowed: Sequence) -> None:
@@ -118,8 +127,18 @@ class GstPartition(Process):
         self.siblings: dict[int, Process] = {}
         self.aggregator: Optional[Process] = None
         #: every partition knows the DC roster now (re-election needs it);
-        #: empty for bare partitions wired by hand in unit tests
+        #: empty for bare partitions wired by hand in unit tests.  Under a
+        #: partial placement the roster holds only the DC's *resident*
+        #: partitions, and ``roster_pos`` is this partition's position in
+        #: it (== ``index`` under full replication) — all aggregator
+        #: bookkeeping (views, report keys, broadcast senders) runs on
+        #: roster positions, never raw partition indices.
         self.local_partitions: list[Process] = []
+        self.roster_pos = index
+        #: origins contributing to the stable summary: the DCs that also
+        #: store this partition (ascending, including this DC).  None =
+        #: all M DCs — full replication.
+        self.tracked: Optional[tuple] = None
         self._reports: dict[int, tuple] = {}        # current aggregator only
         self._report_seen: dict[int, float] = {}    # report freshness times
         #: which roster index this partition currently believes aggregates
@@ -146,7 +165,7 @@ class GstPartition(Process):
 
     @property
     def is_aggregator(self) -> bool:
-        return self.aggregator_view == self.index
+        return self.aggregator_view == self.roster_pos
 
     def lane_of(self, msg) -> str:
         # Same background-replication lane as every other store here: remote
@@ -286,7 +305,8 @@ class GstPartition(Process):
                 > self._aggregator_timeout()):
             self._advance_aggregator()
         self.vv[self.dc_id] = max(self.vv[self.dc_id], self.clock.read_us())
-        self.send(self.aggregator, GstReport(self.index, self._local_summary()))
+        self.send(self.aggregator,
+                  GstReport(self.roster_pos, self._local_summary()))
 
     def _advance_aggregator(self) -> None:
         roster = self.local_partitions
@@ -328,7 +348,7 @@ class GstPartition(Process):
             return
         minimum = tuple(min(v[i] for v in values)
                         for i in range(self.summary_width))
-        broadcast = GstBroadcast(minimum, self.index)
+        broadcast = GstBroadcast(minimum, self.roster_pos)
         self.multicast(self.local_partitions, broadcast)
 
     def on_gst_broadcast(self, msg: GstBroadcast, src: Process) -> None:
@@ -341,7 +361,7 @@ class GstPartition(Process):
             # instead of flapping); everyone else adopts the sender
             # unconditionally.  Duplicate aggregation is safe meanwhile —
             # summaries only ever merge monotonically.
-            if not (self.is_aggregator and msg.sender > self.index):
+            if not (self.is_aggregator and msg.sender > self.roster_pos):
                 self.aggregator_view = msg.sender
                 self.aggregator = self.local_partitions[msg.sender]
                 if self._aggregate_task is not None and not self.is_aggregator:
@@ -409,6 +429,8 @@ class GstProtocol(ProtocolSpec):
 
     def build_site(self, site: SiteContext) -> SitePlan:
         extra = self.partition_kwargs(site.options)
+        # All N constructed in index order for clock-stream parity even
+        # under partial placement; only residents join the roster below.
         partitions = [
             self.partition_cls(site.env, site.pname(i), site.dc_id, i,
                                site.n_dcs, site.clock(),
@@ -417,12 +439,21 @@ class GstProtocol(ProtocolSpec):
                                metrics=site.metrics, **extra)
             for i in range(site.n_partitions)
         ]
-        aggregator = partitions[0]
-        for partition in partitions:
-            # Every partition knows the full roster: re-election retargets
-            # reports and re-arms aggregation without any rewiring.
-            partition.local_partitions = list(partitions)
+        pmap = site.partial_placement()
+        roster = (partitions if pmap is None else
+                  [partitions[i]
+                   for i in pmap.resident_partitions(site.dc_id)])
+        aggregator = roster[0]
+        for pos, partition in enumerate(roster):
+            # Every resident partition knows the roster: re-election
+            # retargets reports and re-arms aggregation without rewiring.
+            partition.local_partitions = list(roster)
             partition.aggregator = aggregator
+            partition.roster_pos = pos
+            if pmap is not None:
+                # Stable summaries span only the origins that also store
+                # this partition — the placement-aware stable cut.
+                partition.tracked = pmap.residents(partition.index)
         return SitePlan(partitions=partitions)
 
 

@@ -218,7 +218,8 @@ class SequencerProtocol(ProtocolSpec):
                             site.n_dcs,
                             check_interval=config.receiver_check_interval,
                             calibration=site.calibration,
-                            metrics=site.metrics)
+                            metrics=site.metrics,
+                            placement=site.partial_placement())
         partitions = [
             SeqPartition(site.env, site.pname(i), site.dc_id, i, site.n_dcs,
                          site.clock(), config, synchronous=self.synchronous,

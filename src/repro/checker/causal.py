@@ -19,6 +19,17 @@ The checks are vector-based, so they apply to every protocol that returns
 genuine causal metadata (EunomiaKV, Cure, S-Seq; GentleRain returns scalars
 = 1-vectors).  The eventually consistent baseline returns empty vectors and
 is exempt — it makes no causal promises to violate.
+
+Under **partial geo-replication** the session checks apply unchanged: the
+guarantees are per-*client*, and a forwarded operation merges the serving
+DC's reply vector into the same session clock, so monotonic writes/reads
+hold across forwarding targets by construction (the very property the
+forwarding path must preserve).  What changes is scope — an update is only
+required to become visible at DCs that *store* its partition (convergence
+is checked per partition across its resident DCs by
+:meth:`repro.geo.system.GeoSystem.converged`), and
+:meth:`CausalChecker.check_placement_routing` asserts every operation was
+in fact served by a resident DC.
 """
 
 from __future__ import annotations
@@ -114,5 +125,33 @@ class CausalChecker:
                     violations.append(Violation(
                         "metadata-integrity", client, record,
                         f"read vector {record.vts} != writer's {source.vts}",
+                    ))
+        return violations
+
+    # ------------------------------------------------------------------
+    # Partial geo-replication
+    # ------------------------------------------------------------------
+    def check_placement_routing(self, placement, ring) -> list[Violation]:
+        """Every operation must have been served by a resident DC.
+
+        ``placement`` is a :class:`repro.core.placement.PlacementMap` and
+        ``ring`` the deployment's hash ring; records without a
+        ``served_by`` annotation (hand-built histories) are skipped.
+        A violation here means the forwarding tables routed an operation
+        to a DC that does not store the key's partition — such a write
+        would never replicate and such a read could never see one.
+        """
+        violations: list[Violation] = []
+        for client in self.history.clients():
+            for record in self.history.session(client):
+                if record.served_by is None:
+                    continue
+                index = ring.partition_for(record.key)
+                if not placement.is_resident(record.served_by, index):
+                    violations.append(Violation(
+                        "placement-routing", client, record,
+                        f"op on partition {index} served by "
+                        f"dc{record.served_by}, which is not among its "
+                        f"resident DCs {placement.residents(index)}",
                     ))
         return violations

@@ -27,6 +27,9 @@ class OpRecord:
     value: Any
     vts: Tuple[int, ...]         # vector returned by the system
     session_vts: Tuple[int, ...]  # client's clock *before* the op
+    #: DC that served the op (differs from the client's DC when partial
+    #: placement forwarded it); None for histories that predate the field
+    served_by: Optional[int] = None
 
 
 class SessionHistory:

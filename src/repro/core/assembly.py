@@ -157,13 +157,19 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
                            metrics: Optional[MetricsHub] = None,
                            tree_factory: Optional[Callable] = None,
                            name_prefix: str = "",
-                           stable_mark: Optional[str] = None
+                           stable_mark: Optional[str] = None,
+                           indices: Optional[list] = None
                            ) -> StabilizerStack:
     """Build the stabilizer complex for one site (not yet started).
 
     ``name_prefix`` namespaces process names (datacenters pass ``"dc0/"``
     etc., rigs pass ``""``); ``stable_mark`` overrides the metric name
     stable ops are marked under (defaults to ``eunomia_stable:dc{site}``).
+    ``indices`` restricts the stable cut to a subset of partition indices
+    (partial geo-replication: only the site's *resident* partitions feed
+    the stabilizer, so only they may bound StableTime — a non-resident
+    index never streams ops and would pin the floor at zero forever).
+    ``None`` keeps the historical all-partitions cut.
     """
     metrics = metrics or NullMetrics()
     stack = StabilizerStack(config=config, env=env, site=site, cal=cal,
@@ -171,7 +177,7 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
 
     if config.n_shards > 1:
         stack.shard_map = ShardMap(n_partitions, config.n_shards,
-                                   config.shard_policy)
+                                   config.shard_policy, indices=indices)
         n_groups = config.n_replicas if config.fault_tolerant else 1
         for rid in range(n_groups):
             tag = f"{name_prefix}eunomia{rid}-" if config.fault_tolerant \
@@ -236,6 +242,7 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
             ))
         for replica in stack.replicas:
             replica.set_peers(stack.replicas)
+            replica.set_tracked(indices)
     else:
         stack.replicas.append(EunomiaService(
             env, f"{name_prefix}eunomia", site, n_partitions, config,
@@ -247,6 +254,7 @@ def build_stabilizer_stack(env: Environment, site: int, n_partitions: int,
             metrics=metrics, tree_factory=tree_factory,
             stable_mark=stable_mark,
         ))
+        stack.replicas[0].set_tracked(indices)
 
     if config.durability == "wal":
         # Durable stacks for all four shapes: every stabilizer that holds

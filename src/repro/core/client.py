@@ -39,13 +39,17 @@ class SessionClient(Process):
                  metrics: Optional[MetricsHub] = None,
                  think_time: float = 0.0,
                  op_mark: str = "ops",
-                 history=None):
+                 history=None,
+                 retry_timeout: Optional[float] = None):
         super().__init__(env, name, site=dc_id)
         cal = calibration or Calibration()
         #: optional repro.checker.SessionHistory for consistency checking
         self.history = history
         self.dc_id = dc_id
         self.n_entries = n_entries
+        #: routing table, one serving partition process per ring slot —
+        #: under partial geo-replication, non-resident slots point at the
+        #: nearest resident DC's partition (read/write forwarding)
         self.partitions = list(partitions)
         self.ring = ring
         self.workload = workload
@@ -55,40 +59,81 @@ class SessionClient(Process):
         self.op_cost = cal.cost("client_op")
         self.vclock = vc_zero(n_entries)
         self.ops_done = 0
+        #: re-issue timeout for a lost in-flight request.  None (default)
+        #: preserves the historical closed loop exactly — no timers are
+        #: armed at all — which matters because a crashed or partitioned
+        #: target drops the request at send time and would otherwise
+        #: stall this session forever.
+        self.retry_timeout = retry_timeout
+        self.retries = 0
         self._rng = env.rng.stream(f"client/{name}")
+        self._started = False
         self._stopped = False
         self._request_id = 0
         self._issued_at = 0.0
         self._kind = ""
+        self._served_by: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Drive
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self._started = True
         self._issue()
 
     def stop(self) -> None:
         """Finish the in-flight op, then stop issuing (for quiescence)."""
         self._stopped = True
 
+    def recover(self) -> None:
+        """Resume the closed loop after a crash-stop.
+
+        The crash retired any pending think-time/retry callback via the
+        epoch guard and dropped the in-flight request, so simply issue a
+        fresh operation (stale replies are discarded by request id)."""
+        super().recover()
+        if self._started and not self._stopped:
+            self._issue()
+
     def _issue(self) -> None:
         if self._stopped or self.crashed:
             return
         kind, key, value_bytes = self.workload.next(self._rng)
-        target = self.partitions[self.ring.partition_for(key)]
-        self._request_id += 1
-        self._issued_at = self.now
         self._kind = kind
         self._key = key
-        if kind == "read":
+        self._value_bytes = value_bytes
+        self._send_attempt()
+
+    def _send_attempt(self) -> None:
+        target = self.partitions[self.ring.partition_for(self._key)]
+        self._request_id += 1
+        self._issued_at = self.now
+        self._served_by = target.site
+        if self._kind == "read":
             self._value = None
-            self.send(target, ClientRead(key, request_id=self._request_id))
+            self.send(target,
+                      ClientRead(self._key, request_id=self._request_id))
         else:
             self._value = f"{self.name}#{self._request_id}"
             self.send(target, ClientUpdate(
-                key, self._value, self.vclock,
-                value_bytes=value_bytes, request_id=self._request_id,
+                self._key, self._value, self.vclock,
+                value_bytes=self._value_bytes, request_id=self._request_id,
             ))
+        if self.retry_timeout is not None:
+            request_id = self._request_id
+            self.after(self.retry_timeout,
+                       lambda: self._maybe_retry(request_id))
+
+    def _maybe_retry(self, request_id: int) -> None:
+        """Re-issue a request whose reply never came (dropped by a crash
+        or partition).  The retry is a *fresh* attempt — new request id,
+        and for updates a new unique value — so a slow original that does
+        land is just another write, never a metadata-confusing duplicate
+        of the logged one."""
+        if self._stopped or self.crashed or request_id != self._request_id:
+            return
+        self.retries += 1
+        self._send_attempt()
 
     # ------------------------------------------------------------------
     # Replies (Alg. 1 lines 4 and 9)
@@ -118,6 +163,7 @@ class SessionClient(Process):
             time=self.now, client=self.name, kind=self._kind,
             key=self._key, value=value, vts=tuple(vts),
             session_vts=tuple(self.vclock),
+            served_by=self._served_by,
         ))
 
     def _complete(self) -> None:

@@ -55,6 +55,7 @@ from ..sim.process import Process
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..clocks.ntp import NtpSynchronizer
     from ..kvstore.ring import ConsistentHashRing
+    from .placement import PlacementMap
 
 __all__ = [
     "SiteContext",
@@ -87,6 +88,8 @@ class SiteContext:
     metrics: MetricsHub
     ntp: Optional["NtpSynchronizer"] = None
     options: dict = field(default_factory=dict)
+    #: which partition indices this DC stores (None = full replication)
+    placement: Optional["PlacementMap"] = None
 
     def clock(self) -> PhysicalClock:
         """Draw the next NTP-disciplined physical clock for this site.
@@ -104,6 +107,23 @@ class SiteContext:
     def pname(self, index: int) -> str:
         """Canonical partition process name (``dc0/p3``)."""
         return f"dc{self.dc_id}/p{index}"
+
+    def resident(self, index: int) -> bool:
+        """Does this DC store partition ``index``? (always True when full)"""
+        return (self.placement is None
+                or self.placement.is_resident(self.dc_id, index))
+
+    def partial_placement(self) -> Optional["PlacementMap"]:
+        """The placement map when genuinely partial, else None.
+
+        Plugins branch on this: the None path must stay byte-identical to
+        the pre-placement wiring (the goldens pin it), so ``full`` maps
+        normalize to None here.
+        """
+        pmap = self.placement
+        if pmap is None or pmap.is_full():
+            return None
+        return pmap
 
 
 @dataclass

@@ -104,6 +104,9 @@ class StabilizerBase(Process):
         self.config = config
         self.metrics = metrics or NullMetrics()
         self.partition_time = [0] * n_partitions
+        #: partial geo-replication: the partition indices that bound the
+        #: stable cut (None = all N; see :meth:`set_tracked`)
+        self.tracked = None
         # An explicit tree_factory (the §6 ablation convention) overrides
         # the configured strategy; otherwise the config picks the backend.
         self._tree_factory = tree_factory
@@ -369,9 +372,22 @@ class StabilizerBase(Process):
         """Hook: the fault-tolerant replica gates this on leadership."""
         return True
 
+    def set_tracked(self, indices) -> None:
+        """Restrict the stable cut to ``indices`` (partial placement).
+
+        A non-resident partition never streams ops, so leaving it in the
+        min would pin StableTime at zero forever; ``None`` restores the
+        historical all-partitions cut (bit-identical to before the knob
+        existed).
+        """
+        self.tracked = None if indices is None else sorted(indices)
+
     def _stable_floor(self) -> int:
         """The timestamp below which no tracked partition can still produce."""
-        return min(self.partition_time)
+        if self.tracked is None:
+            return min(self.partition_time)
+        times = self.partition_time
+        return min(times[p] for p in self.tracked)
 
     def _stabilize(self) -> None:
         if not self._should_stabilize():

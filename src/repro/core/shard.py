@@ -113,20 +113,27 @@ class ShardMap:
     """
 
     def __init__(self, n_partitions: int, n_shards: int,
-                 policy: str = "stride"):
+                 policy: str = "stride",
+                 indices: Optional[list] = None):
         if n_shards < 1:
             raise ValueError("need at least one Eunomia shard")
-        if n_shards > n_partitions:
+        # Partial geo-replication: only the site's resident partition
+        # indices participate in stabilization; the assignment spreads the
+        # resident universe (not raw index arithmetic), so loads stay
+        # within one partition of each other for any placement.
+        universe = (list(range(n_partitions)) if indices is None
+                    else sorted(indices))
+        if n_shards > len(universe):
             raise ValueError(
-                f"cannot split {n_partitions} partitions across "
+                f"cannot split {len(universe)} partitions across "
                 f"{n_shards} shards: some shards would track no partition "
                 f"and pin StableTime at zero forever"
             )
         if policy == "stride":
-            assign = [p % n_shards for p in range(n_partitions)]
+            assign = {p: j % n_shards for j, p in enumerate(universe)}
         elif policy == "block":
-            assign = [p * n_shards // n_partitions
-                      for p in range(n_partitions)]
+            assign = {p: j * n_shards // len(universe)
+                      for j, p in enumerate(universe)}
         else:
             raise ValueError(f"unknown shard policy {policy!r}")
         self.n_partitions = n_partitions
@@ -139,7 +146,7 @@ class ShardMap:
 
     def owned_by(self, shard_id: int) -> list[int]:
         """The partition indices a shard stabilizes (ascending)."""
-        return [p for p, s in enumerate(self._assign) if s == shard_id]
+        return sorted(p for p, s in self._assign.items() if s == shard_id)
 
 
 class EunomiaShard(StabilizerBase):

@@ -68,6 +68,10 @@ class EunomiaProtocol(ProtocolSpec):
 
         config = site.options["config"]
         cal = site.calibration
+        pmap = site.partial_placement()
+        # All N partitions are constructed in index order even under a
+        # partial placement (the per-DC clock RNG stream depends on it);
+        # non-resident ones are never started, wired, or routed to.
         partitions = [
             EunomiaPartition(
                 site.env, site.pname(index), site.dc_id, index, site.n_dcs,
@@ -75,18 +79,23 @@ class EunomiaProtocol(ProtocolSpec):
             )
             for index in range(site.n_partitions)
         ]
+        resident = (partitions if pmap is None else
+                    [partitions[i]
+                     for i in pmap.resident_partitions(site.dc_id)])
         stack = build_stabilizer_stack(
             site.env, site.dc_id, site.n_partitions, config, cal,
             metrics=site.metrics, tree_factory=site.options["tree_factory"],
             name_prefix=f"dc{site.dc_id}/",
+            indices=None if pmap is None else
+            pmap.resident_partitions(site.dc_id),
         )
         receiver = Receiver(
             site.env, f"dc{site.dc_id}/receiver", site.dc_id, site.n_dcs,
             check_interval=config.receiver_check_interval,
-            calibration=cal, metrics=site.metrics,
+            calibration=cal, metrics=site.metrics, placement=pmap,
         )
         receiver.set_partitions(site.ring, partitions)
-        relays = stack.wire_uplinks(partitions)
+        relays = stack.wire_uplinks(resident)
         return SitePlan(
             partitions=partitions, extras=stack.processes(),
             receiver=receiver, propagators=stack.propagators(),
@@ -114,7 +123,8 @@ class Datacenter:
                  ntp: Optional[NtpSynchronizer] = None,
                  tree_factory: Optional[Callable] = None,
                  protocol: Optional[ProtocolSpec] = None,
-                 options: Optional[dict] = None):
+                 options: Optional[dict] = None,
+                 placement=None):
         self.env = env
         self.dc_id = dc_id
         self.n_dcs = n_dcs
@@ -135,7 +145,11 @@ class Datacenter:
             env=env, dc_id=dc_id, n_dcs=n_dcs, n_partitions=n_partitions,
             ring=ring, calibration=cal, metrics=self.metrics, ntp=ntp,
             options=options if options is not None else {},
+            placement=placement,
         )
+        #: the placement map when genuinely partial, else None — the full
+        #: path through connect/start/introspection must stay identical
+        self.placement = self.site.partial_placement()
         self.plan = protocol.build_site(self.site)
         self.partitions = self.plan.partitions
         self.extras = self.plan.extras
@@ -160,14 +174,29 @@ class Datacenter:
     # Cross-datacenter wiring
     # ------------------------------------------------------------------
     def connect(self, other: "Datacenter") -> None:
-        """Wire this datacenter to a remote one (directional; call both ways)."""
+        """Wire this datacenter to a remote one (directional; call both ways).
+
+        Under a partial placement only overlapping DCs exchange streams:
+        the propagator → receiver edge exists iff some partition is
+        resident at both sites, and sibling links exist per co-resident
+        index — a DC never receives (and never waits on) traffic for data
+        it does not store.
+        """
         if other.dc_id == self.dc_id:
             raise ValueError("cannot connect a datacenter to itself")
-        if other.receiver is not None:
+        pmap = self.placement
+        if other.receiver is not None and (
+                pmap is None or pmap.overlaps(self.dc_id, other.dc_id)):
             for propagator in self.propagators():
                 propagator.add_destination(other.receiver)
-        for mine, theirs in zip(self.partitions, other.partitions):
-            mine.set_sibling(other.dc_id, theirs)
+        if pmap is None:
+            for mine, theirs in zip(self.partitions, other.partitions):
+                mine.set_sibling(other.dc_id, theirs)
+        else:
+            for index in pmap.resident_partitions(self.dc_id):
+                if pmap.is_resident(other.dc_id, index):
+                    self.partitions[index].set_sibling(
+                        other.dc_id, other.partitions[index])
 
     def propagators(self) -> list:
         """The processes that ship ordered streams to remote receivers."""
@@ -177,7 +206,10 @@ class Datacenter:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        for partition in self.partitions:
+        for index, partition in enumerate(self.partitions):
+            if self.placement is not None and not self.placement.is_resident(
+                    self.dc_id, index):
+                continue  # constructed for clock-stream parity, never run
             start = getattr(partition, "start", None)
             if start is not None:
                 start()
@@ -199,16 +231,23 @@ class Datacenter:
         coordinator, or the sequencer)."""
         return self.protocol.leader(self.plan)
 
+    def resident_partitions(self) -> list:
+        """The partition processes this DC actually stores (all, if full)."""
+        if self.placement is None:
+            return list(self.partitions)
+        return [self.partitions[i]
+                for i in self.placement.resident_partitions(self.dc_id)]
+
     def store_snapshot(self) -> dict:
-        """Union of all partition stores: key → (ts, origin, value)."""
+        """Union of the resident partition stores: key → (ts, origin, value)."""
         merged: dict = {}
-        for partition in self.partitions:
+        for partition in self.resident_partitions():
             merged.update(partition.datastore().snapshot())
         return merged
 
     def fingerprint(self) -> int:
-        """Order-independent hash of the whole datacenter's data."""
+        """Order-independent hash of the datacenter's resident data."""
         acc = 0
-        for partition in self.partitions:
+        for partition in self.resident_partitions():
             acc ^= partition.datastore().fingerprint()
         return acc

@@ -47,7 +47,8 @@ class Receiver(Process):
     def __init__(self, env: Environment, name: str, dc_id: int, n_dcs: int,
                  check_interval: float,
                  calibration: Optional[Calibration] = None,
-                 metrics: Optional[MetricsHub] = None):
+                 metrics: Optional[MetricsHub] = None,
+                 placement=None):
         cal = calibration or Calibration()
         cost_model = CostModel(costs={
             "RemoteStableBatch":
@@ -59,8 +60,16 @@ class Receiver(Process):
         self.n_dcs = n_dcs
         self.check_interval = check_interval
         self.metrics = metrics or NullMetrics()
+        #: partial geo-replication (None = full): origins whose resident
+        #: set is disjoint from ours get no queue at all — the
+        #: placement-aware stable cut.  Their entries are skipped in
+        #: :meth:`_deps_satisfied`, so this DC never stalls waiting for a
+        #: stream that will never arrive.
+        self.placement = placement
         self.queues: dict[int, deque[Update]] = {
-            k: deque() for k in range(n_dcs) if k != dc_id
+            k: deque() for k in range(n_dcs)
+            if k != dc_id and (placement is None
+                               or placement.overlaps(k, dc_id))
         }
         self.site_time = [0] * n_dcs
         # Dedup uses the full (ts, partition, seq) order key: concurrent
@@ -71,6 +80,7 @@ class Receiver(Process):
         self.partitions: list[Process] = []
         self.applied = 0
         self.duplicates_dropped = 0
+        self.skipped_nonresident = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -84,6 +94,19 @@ class Receiver(Process):
         # CHECK_PENDING every ρ (Alg. 5 line 3) — a safety net for updates
         # whose dependencies were satisfied by a *different* origin's apply.
         self.periodic(self.check_interval, self._flush_all)
+
+    def recover(self) -> None:
+        """Resume after a crash-stop (queues and SiteTime intact).
+
+        The crash retired the CHECK_PENDING periodic and dropped any
+        in-flight ApplyRemote/ApplyRemoteOk exchange, so clear the
+        in-flight markers (re-sending an already-applied update is safe:
+        the partition's LWW put is idempotent and re-acks) and re-arm.
+        """
+        super().recover()
+        self._inflight.clear()
+        self.start()
+        self._flush_all()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -104,26 +127,72 @@ class Receiver(Process):
     # FLUSH (Alg. 5 lines 5–20, per-origin pipelined)
     # ------------------------------------------------------------------
     def _flush_all(self) -> None:
-        for k in self.queues:
-            self._try_flush(k)
+        # Skipping a non-resident head advances SiteTime, which can
+        # unblock origins already visited this pass — loop until a pass
+        # makes no skip progress.  Full replication never skips, so this
+        # is exactly one pass (the historical behavior).
+        progress = True
+        while progress:
+            progress = False
+            for k in self.queues:
+                if self._try_flush(k):
+                    progress = True
 
-    def _try_flush(self, k: int) -> None:
+    def _try_flush(self, k: int) -> bool:
+        """Advance origin ``k``'s queue; True iff any head was skipped."""
         if k in self._inflight:
-            return  # condition (1): strictly in-order within an origin
+            return False  # condition (1): strictly in-order within an origin
         queue = self.queues[k]
+        skipped = False
+        # Partial placement: the origin's stream interleaves ops for every
+        # partition *it* stores; ops for partitions not resident here are
+        # skipped — no apply, and no dependency wait either (the op can
+        # never be read at this DC, so nothing here may depend on it being
+        # visible locally) — while still advancing SiteTime so ops that
+        # name it as a cross-DC dependency do not stall.
+        while queue and not self._resident(queue[0]):
+            self._advance_site_time(k, queue.popleft())
+            self.skipped_nonresident += 1
+            skipped = True
         if not queue:
-            return
+            return skipped
         update = queue[0]
         if not self._deps_satisfied(update, k):
-            return
+            return skipped
         self._inflight[k] = update
         target = self.partitions[self.ring.partition_for(update.key)]
         self.send(target, ApplyRemote(update))
+        return skipped
+
+    def _resident(self, update: Update) -> bool:
+        return (self.placement is None
+                or self.placement.is_resident(self.dc_id,
+                                              update.partition_index))
+
+    def _advance_site_time(self, k: int, update: Update) -> None:
+        # Tie-aware SiteTime advance: updates with equal timestamps are
+        # concurrent, but a remote dependency naming ts T means *some* op
+        # with vts[k] == T — only claim T once every tied op has applied.
+        # (All T-ties arrive in the same stabilization round: later rounds
+        # carry strictly larger timestamps, so the queue head is the only
+        # place a tie can still hide.)
+        queue = self.queues[k]
+        ts = update.vts[k]
+        if queue and queue[0].vts[k] == ts:
+            self.site_time[k] = ts - 1
+        else:
+            self.site_time[k] = ts
 
     def _deps_satisfied(self, update: Update, k: int) -> bool:
-        """Condition (2): SiteTime covers every other remote entry."""
+        """Condition (2): SiteTime covers every other remote entry.
+
+        Origins without a queue (partial placement, zero overlap) are
+        exempt: no stream ever arrives from them, and — by the same
+        residency argument as the skip above — no dependency on them can
+        be resident here either.
+        """
         for d in range(self.n_dcs):
-            if d in (self.dc_id, k):
+            if d in (self.dc_id, k) or d not in self.queues:
                 continue
             if self.site_time[d] < update.vts[d]:
                 return False
@@ -136,19 +205,8 @@ class Receiver(Process):
             raise RuntimeError(
                 f"receiver {self.name}: unexpected apply ack {msg.uid}"
             )
-        queue = self.queues[k]
-        queue.popleft()
-        # Tie-aware SiteTime advance: updates with equal timestamps are
-        # concurrent, but a remote dependency naming ts T means *some* op
-        # with vts[k] == T — only claim T once every tied op has applied.
-        # (All T-ties arrive in the same stabilization round: later rounds
-        # carry strictly larger timestamps, so the queue head is the only
-        # place a tie can still hide.)
-        ts = update.vts[k]
-        if queue and queue[0].vts[k] == ts:
-            self.site_time[k] = ts - 1
-        else:
-            self.site_time[k] = ts
+        self.queues[k].popleft()
+        self._advance_site_time(k, update)
         self.applied += 1
         # An apply may unblock heads of *other* origins (their vts[k] was
         # the missing dependency), so rescan everything.

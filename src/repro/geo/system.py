@@ -32,6 +32,7 @@ from ..calibration import Calibration
 from ..clocks.ntp import NtpSynchronizer
 from ..core.client import SessionClient
 from ..core.config import EunomiaConfig
+from ..core.placement import PlacementMap
 from ..core.protocols import ProtocolSpec, get_protocol
 from ..kvstore.ring import ConsistentHashRing
 from ..metrics import MetricsHub, steady_window, throughput
@@ -61,9 +62,27 @@ class GeoSystemSpec:
     #: fire in identical (time, seq) order, so runs are bit-reproducible
     #: across backends.
     scheduler: str = "heap"
+    #: partial geo-replication: which partition indices each DC stores.
+    #: ``None``/``"full"`` is full replication (bit-identical to the
+    #: pre-placement spine); ``"stride:K"``, an explicit ``"dc0=0,1;..."``
+    #: string, a ``{dc: indices}`` dict, or a
+    #: :class:`~repro.core.placement.PlacementMap` select partial shapes
+    #: with client forwarding to the nearest resident DC.
+    placement: Union[None, str, dict, PlacementMap] = None
+    #: client retry timeout (seconds) for lost in-flight operations.
+    #: ``None`` (default) keeps the historical no-retry closed loop; set
+    #: it for fault schedules that crash forwarding targets, where a
+    #: dropped request would otherwise stall the session forever.
+    client_retry: Optional[float] = None
 
     def topology(self) -> RttMatrix:
         return self.rtt if self.rtt is not None else paper_topology(self.n_dcs)
+
+    def placement_map(self) -> Optional[PlacementMap]:
+        """The normalized placement, or None for full replication."""
+        pmap = PlacementMap.from_spec(self.n_dcs, self.partitions_per_dc,
+                                      self.placement)
+        return None if pmap.is_full() else pmap
 
 
 class GeoSystem:
@@ -72,13 +91,15 @@ class GeoSystem:
     def __init__(self, env: Environment, spec: GeoSystemSpec,
                  metrics: MetricsHub, datacenters: Sequence,
                  clients: Sequence[SessionClient], protocol: str,
-                 ntp=None):
+                 ntp=None, placement: Optional[PlacementMap] = None):
         self.env = env
         self.spec = spec
         self.metrics = metrics
         self.datacenters = list(datacenters)
         self.clients = list(clients)
         self.protocol = protocol
+        #: normalized placement map (None = full replication)
+        self.placement = placement
         #: the NTP synchronizer disciplining every site clock (None for
         #: hand-assembled systems) — the chaos DSL's ntp_outage target
         self.ntp = ntp
@@ -153,9 +174,21 @@ class GeoSystem:
         return [v for t, v in series if lo <= t <= hi]
 
     def converged(self) -> bool:
-        """True iff all datacenters hold identical data (call after quiesce)."""
-        prints = {dc.fingerprint() for dc in self.datacenters}
-        return len(prints) == 1
+        """True iff every partition's resident DCs hold identical data
+        (call after quiesce).  Under full replication this is the classic
+        whole-DC fingerprint comparison; under a partial placement each
+        partition is compared only across the DCs that store it."""
+        if self.placement is None:
+            prints = {dc.fingerprint() for dc in self.datacenters}
+            return len(prints) == 1
+        for index in range(self.placement.n_partitions):
+            prints = {
+                self.datacenters[dc].partitions[index].datastore().fingerprint()
+                for dc in self.placement.residents(index)
+            }
+            if len(prints) != 1:
+                return False
+        return True
 
     def snapshots(self) -> list[dict]:
         return [dc.store_snapshot() for dc in self.datacenters]
@@ -186,15 +219,17 @@ def build_geo_system(protocol: Union[str, ProtocolSpec],
             f"{sorted(proto.option_names()) or 'no options'}")
     options = proto.prepare(spec, dict(options))
     metrics = metrics or MetricsHub()
+    pmap = spec.placement_map()
     env = Environment(seed=spec.seed, scheduler=spec.scheduler)
-    Network(env, spec.topology())
+    topo = spec.topology()
+    Network(env, topo)
     ntp = NtpSynchronizer(env, residual_us=spec.ntp_residual_us)
     ring = ConsistentHashRing(spec.partitions_per_dc)
 
     datacenters = [
         Datacenter(env, dc_id, spec.n_dcs, spec.partitions_per_dc, ring,
                    calibration=spec.calibration, metrics=metrics, ntp=ntp,
-                   protocol=proto, options=options)
+                   protocol=proto, options=options, placement=pmap)
         for dc_id in range(spec.n_dcs)
     ]
     for a in datacenters:
@@ -206,16 +241,28 @@ def build_geo_system(protocol: Union[str, ProtocolSpec],
     n_entries = proto.client_entries(spec.n_dcs)
     clients = []
     for dc in datacenters:
+        if pmap is None:
+            routing = dc.partitions
+        else:
+            # Read/write forwarding: a non-resident index routes to the
+            # nearest resident DC's same-index partition over the normal
+            # client lanes; the reply's vector metadata merges into the
+            # session clock exactly as for a local operation.
+            routing = [
+                datacenters[pmap.nearest_resident(dc.dc_id, index,
+                                                  topo)].partitions[index]
+                for index in range(spec.partitions_per_dc)
+            ]
         for c in range(spec.clients_per_dc):
             clients.append(SessionClient(
                 env, f"dc{dc.dc_id}/client{c}", dc.dc_id,
-                n_entries=n_entries, partitions=dc.partitions, ring=ring,
+                n_entries=n_entries, partitions=routing, ring=ring,
                 workload=built, calibration=spec.calibration,
                 metrics=metrics, think_time=workload.think_time,
-                history=history,
+                history=history, retry_timeout=spec.client_retry,
             ))
     return GeoSystem(env, spec, metrics, datacenters, clients,
-                     protocol=proto.name, ntp=ntp)
+                     protocol=proto.name, ntp=ntp, placement=pmap)
 
 
 def build_eunomia_system(spec: GeoSystemSpec,

@@ -51,6 +51,7 @@ from .loadgen import build_eunomia_rig
 __all__ = [
     "FAULT_CLASSES",
     "CHAOS_PROTOCOLS",
+    "CHAOS_PLACEMENTS",
     "FaultEvent",
     "ChaosSchedule",
     "sample_schedule",
@@ -72,6 +73,9 @@ FAULT_CLASSES = (
     "wal_fault",        # injected fsync failures - commit retry must cover
     "clock_drift",      # drift-rate change + phase step on one node's clock
     "ntp_outage",       # suspend clock discipline for a window
+    "region_outage",    # crash every process in one datacenter - sampled
+                        # only for island DCs of a partial placement, whose
+                        # data replicates nowhere and whose clients retry
 )
 
 #: The protocols the matrix runs by default, with the deployment options
@@ -100,10 +104,31 @@ _WORKLOAD = dict(read_ratio=0.75, n_keys=48)
 _RUN_FOR = 2.2          # fault window lives in [0.4, 1.6]
 _DRAIN = 3.0            # generous: covers re-election + retry backoff caps
 
+#: Placement shapes the matrix can run under.  ``"island"`` gives dc2 a
+#: partition set that overlaps nobody — the only shape where crashing an
+#: entire region is recoverable by construction (its data replicates
+#: nowhere, so no inter-DC stream is lost) — which is exactly what the
+#: ``region_outage`` fault class is gated on.  Partial-placement runs get
+#: client retries: forwarded sessions would otherwise stall forever when
+#: their remote target crashes.
+CHAOS_PLACEMENTS: dict[str, Optional[str]] = {
+    "full": None,
+    "island": "dc0=0,1;dc1=0,1;dc2=2,3",
+}
+_CLIENT_RETRY = 0.25    # > any RTT + backoff; << the post-heal drain
 
-def _options_for(protocol: str) -> dict:
+#: ``clock_mode="physical"`` models loosely disciplined physical clocks
+#: (NTP residual ~2.5 ms instead of the calibrated 100 us) — the regime
+#: where timestamp-ordered protocols must absorb real clock error.
+_PHYSICAL_RESIDUAL_US = 2500.0
+
+
+def _options_for(protocol: str, placement: str = "full") -> dict:
     if protocol == "eunomia":
-        return {"config": EunomiaConfig(n_shards=4, n_replicas=3,
+        # Island placements leave each DC with 2 resident partitions, so
+        # the stabilizer cannot spread them over more than 2 shards.
+        n_shards = 4 if placement == "full" else 2
+        return {"config": EunomiaConfig(n_shards=n_shards, n_replicas=3,
                                         fault_tolerant=True,
                                         durability="wal")}
     return dict(CHAOS_PROTOCOLS[protocol])
@@ -131,6 +156,12 @@ class ChaosSchedule:
     protocol: str
     seed: int
     events: list[FaultEvent] = field(default_factory=list)
+    #: ``"hybrid"`` (calibrated NTP discipline) or ``"physical"`` (loose
+    #: discipline, ~2.5 ms residual) — a sampled axis, not a fault window
+    clock_mode: str = "hybrid"
+    #: key into :data:`CHAOS_PLACEMENTS`; ``"full"`` replays pre-placement
+    #: schedules bit-for-bit (both fields default for old JSON artifacts)
+    placement: str = "full"
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2)
@@ -146,16 +177,34 @@ class ChaosSchedule:
 # Sampling
 # ----------------------------------------------------------------------
 def sample_schedule(protocol: str, seed: int,
-                    n_faults: Optional[int] = None) -> ChaosSchedule:
+                    n_faults: Optional[int] = None,
+                    placement: str = "full") -> ChaosSchedule:
     """Sample a fault schedule for ``protocol`` from its class menu.
 
-    Deterministic in ``(protocol, seed)``; fault windows land inside the
-    run (healed well before drain) and may overlap — overlapping faults
-    are the point of a chaos *matrix*.
+    Deterministic in ``(protocol, seed, placement)``; fault windows land
+    inside the run (healed well before drain) and may overlap —
+    overlapping faults are the point of a chaos *matrix*.
+
+    ``placement="full"`` reproduces the historical event streams exactly
+    (the clock-mode draw happens after all event draws).  A placement
+    with island DCs adds ``region_outage`` to the menu, targeted at an
+    island DC — the one shape where losing a whole region drops no
+    replication stream.
     """
     if protocol not in _MENU:
         raise ValueError(f"no chaos menu for protocol {protocol!r}; "
                          f"known: {sorted(_MENU)}")
+    placement_spec = CHAOS_PLACEMENTS[placement]
+    menu = _MENU[protocol]
+    islands: tuple = ()
+    if placement_spec is not None:
+        from ..core.placement import PlacementMap
+
+        islands = PlacementMap.from_spec(
+            _SPEC["n_dcs"], _SPEC["partitions_per_dc"],
+            placement_spec).island_dcs()
+        if islands:
+            menu = menu + ("region_outage",)
     # str hash is process-randomized; use a stable digest so a (protocol,
     # seed) pair names the same schedule in every interpreter
     tag = zlib.crc32(protocol.encode())
@@ -165,13 +214,17 @@ def sample_schedule(protocol: str, seed: int,
     n_parts = _SPEC["partitions_per_dc"]
     events: list[FaultEvent] = []
     for _ in range(count):
-        cls = rng.choice(_MENU[protocol])
+        cls = rng.choice(menu)
         start = round(rng.uniform(0.4, 1.2), 3)
         stop = round(start + rng.uniform(0.2, 0.45), 3)
         dc = rng.randrange(n_dcs)
         part = rng.randrange(n_parts)
         params: dict = {"dc": dc}
-        if cls == "infra_crash":
+        if cls == "region_outage":
+            # retarget onto an island DC without extra draws, keeping the
+            # per-event draw count class-independent
+            params["dc"] = islands[dc % len(islands)]
+        elif cls == "infra_crash":
             params["unit"] = rng.randrange(
                 3 if protocol in ("eunomia", "sseq") else 1)
         elif cls == "isolation":
@@ -192,7 +245,11 @@ def sample_schedule(protocol: str, seed: int,
             params["step_us"] = round(rng.uniform(0.0, 400.0), 1)
         events.append(FaultEvent(cls, start, stop, params))
     events.sort(key=lambda e: (e.start, e.cls))
-    return ChaosSchedule(protocol=protocol, seed=seed, events=events)
+    # Drawn after every event draw so the "full" event streams stay
+    # byte-identical to the pre-axis sampler for a given (protocol, seed).
+    clock_mode = rng.choice(("hybrid", "physical"))
+    return ChaosSchedule(protocol=protocol, seed=seed, events=events,
+                         clock_mode=clock_mode, placement=placement)
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +298,21 @@ def _durable_members(dc):
             if getattr(p, "wal", None) is not None]
 
 
+def _region_processes(system, dc):
+    """Every process a whole-region outage takes down: resident
+    partitions (non-resident ones never started), the receiver, the
+    stabilizer stack, protocol extras (sequencer chains), and the DC's
+    own clients."""
+    procs = list(dc.resident_partitions())
+    if dc.receiver is not None:
+        procs.append(dc.receiver)
+    if dc.stack is not None:
+        procs.extend(dc.stack.processes())
+    procs.extend(dc.extras)
+    procs.extend(c for c in system.clients if c.dc_id == dc.dc_id)
+    return procs
+
+
 def apply_schedule(system, schedule: ChaosSchedule) -> None:
     """Program ``schedule`` into ``system.failures()``.
 
@@ -251,7 +323,17 @@ def apply_schedule(system, schedule: ChaosSchedule) -> None:
     for event in schedule.events:
         dc = system.datacenters[event.params.get("dc", 0)
                                 % len(system.datacenters)]
-        if event.cls == "infra_crash":
+        if event.cls == "region_outage":
+            if system.placement is None or dc.dc_id not in \
+                    system.placement.island_dcs():
+                raise ValueError(
+                    f"region_outage targets dc{dc.dc_id}, which is not an "
+                    f"island of the placement — a replicated region's "
+                    f"dropped streams are unrecoverable by design")
+            for proc in _region_processes(system, dc):
+                fs.crash_at(event.start, proc)
+                fs.recover_at(event.stop, proc)
+        elif event.cls == "infra_crash":
             unit = _crash_unit(system, dc, event)
             fs.crash_at(event.start, unit)
             fs.recover_at(event.stop, unit)
@@ -309,10 +391,19 @@ def run_case(schedule: ChaosSchedule, scheduler: str = "heap") -> CaseResult:
     and artifacts can be written for every failing seed.
     """
     history = SessionHistory()
-    spec = GeoSystemSpec(seed=schedule.seed, scheduler=scheduler, **_SPEC)
+    spec_kwargs = dict(_SPEC)
+    placement_spec = CHAOS_PLACEMENTS[schedule.placement]
+    if placement_spec is not None:
+        spec_kwargs["placement"] = placement_spec
+        spec_kwargs["client_retry"] = _CLIENT_RETRY
+    if schedule.clock_mode == "physical":
+        spec_kwargs["ntp_residual_us"] = _PHYSICAL_RESIDUAL_US
+    spec = GeoSystemSpec(seed=schedule.seed, scheduler=scheduler,
+                         **spec_kwargs)
     system = build_geo_system(schedule.protocol, spec,
                               WorkloadSpec(**_WORKLOAD), history=history,
-                              **_options_for(schedule.protocol))
+                              **_options_for(schedule.protocol,
+                                             schedule.placement))
     apply_schedule(system, schedule)
     failures: list[str] = []
     try:
@@ -328,6 +419,11 @@ def run_case(schedule: ChaosSchedule, scheduler: str = "heap") -> CaseResult:
     pairs = checker.check_write_read_pairs()
     if pairs:
         failures.append(f"write/read pair violations: {pairs[:3]}")
+    if system.placement is not None:
+        routing = checker.check_placement_routing(
+            system.placement, system.datacenters[0].ring)
+        if routing:
+            failures.append(f"placement routing violations: {routing[:3]}")
     if not system.converged():
         failures.append("datacenters did not converge after heal + drain")
     throughput = system.total_throughput()
@@ -397,13 +493,14 @@ def run_exactly_once_drill(seed: int, n_partitions: int = 4) -> list[str]:
 # The matrix + CLI
 # ----------------------------------------------------------------------
 def run_matrix(seeds, protocols=None, out: Optional[Path] = None,
-               progress=lambda line: None) -> list[CaseResult]:
+               progress=lambda line: None,
+               placement: str = "full") -> list[CaseResult]:
     """seeds × protocols, writing a replayable artifact per failing case."""
     protocols = list(protocols or CHAOS_PROTOCOLS)
     results: list[CaseResult] = []
     for protocol in protocols:
         for seed in seeds:
-            schedule = sample_schedule(protocol, seed)
+            schedule = sample_schedule(protocol, seed, placement=placement)
             result = run_case(schedule)
             results.append(result)
             status = "ok" if result.ok else "FAIL"
@@ -436,6 +533,10 @@ def main(argv=None) -> int:
     parser.add_argument("--protocols", nargs="*",
                         default=list(CHAOS_PROTOCOLS),
                         help="protocol subset (default: all four)")
+    parser.add_argument("--placement", choices=sorted(CHAOS_PLACEMENTS),
+                        default="full",
+                        help="replication shape for the matrix runs "
+                             "(island shapes unlock region_outage)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for failing-schedule artifacts")
     parser.add_argument("--replay", type=Path, default=None,
@@ -462,7 +563,7 @@ def main(argv=None) -> int:
     if args.matrix:
         seeds = range(args.seed_base, args.seed_base + args.seeds)
         results = run_matrix(seeds, args.protocols, out=args.out,
-                             progress=print)
+                             progress=print, placement=args.placement)
         failed = [r for r in results if not r.ok]
         print(f"matrix: {len(results) - len(failed)}/{len(results)} cases ok")
         if failed:

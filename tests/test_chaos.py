@@ -22,6 +22,7 @@ from repro.harness.loadgen import build_eunomia_rig
 from repro.sim.failure import FailureSchedule
 from repro.harness.chaos import (
     ChaosSchedule,
+    FaultEvent,
     run_case,
     run_exactly_once_drill,
     sample_schedule,
@@ -134,6 +135,75 @@ def test_sampled_schedules_are_deterministic_and_serializable():
     assert a != sample_schedule("eunomia", 43)
     assert a != sample_schedule("sseq", 42)
     assert ChaosSchedule.from_json(a.to_json()) == a
+
+
+def test_clock_mode_axis_is_deterministic_and_post_event():
+    """The hybrid-vs-physical clock axis: sampled deterministically, both
+    modes reachable, and drawn *after* the event draws — so a seed's fault
+    stream is exactly what the pre-axis sampler produced."""
+    a = sample_schedule("gentlerain", 1000)
+    assert a.clock_mode in ("hybrid", "physical")
+    assert a.clock_mode == sample_schedule("gentlerain", 1000).clock_mode
+    modes = {sample_schedule("gentlerain", s).clock_mode
+             for s in range(1000, 1012)}
+    assert modes == {"hybrid", "physical"}
+    # pre-axis JSON artifacts (no clock_mode/placement keys) still replay
+    import json
+    raw = json.loads(a.to_json())
+    del raw["clock_mode"], raw["placement"]
+    old = ChaosSchedule.from_json(json.dumps(raw))
+    assert old.events == a.events
+    assert (old.clock_mode, old.placement) == ("hybrid", "full")
+
+
+def test_physical_clock_mode_case_passes_oracles():
+    base = sample_schedule("gentlerain", 1000)
+    forced = ChaosSchedule(protocol=base.protocol, seed=base.seed,
+                           events=base.events, clock_mode="physical")
+    result = run_case(forced)
+    assert result.ok, result.failures
+
+
+# ----------------------------------------------------------------------
+# Region outages (partial placement only)
+# ----------------------------------------------------------------------
+def test_region_outage_sampling_targets_only_island_dcs():
+    """Full placement never samples a region outage; the island placement
+    does, and only ever aims it at the island DC (dc2), whose loss drops
+    no inter-DC replication stream."""
+    full_classes = {e.cls for s in range(1000, 1020)
+                    for e in sample_schedule("cure", s).events}
+    assert "region_outage" not in full_classes
+    outages = [e for s in range(1000, 1020)
+               for e in sample_schedule("cure", s,
+                                        placement="island").events
+               if e.cls == "region_outage"]
+    assert outages, "island placement never sampled a region outage"
+    assert {e.params["dc"] for e in outages} == {2}
+
+
+def test_region_outage_island_converges_after_heal():
+    """Crash every process in the island DC mid-run: forwarded clients
+    retry through the outage, the island recovers, and all oracles —
+    causal checks, placement routing, per-partition convergence, post-heal
+    progress — hold."""
+    schedule = ChaosSchedule(
+        protocol="eunomia", seed=7, placement="island",
+        events=[FaultEvent("region_outage", 0.6, 1.0, {"dc": 2})])
+    result = run_case(schedule)
+    assert result.ok, result.failures
+    assert any(line.startswith("crash dc2/") for line in result.fired)
+    assert any(line.startswith("recover dc2/") for line in result.fired)
+
+
+def test_region_outage_rejects_replicated_region():
+    """A DC whose partitions replicate elsewhere loses in-flight streams
+    unrecoverably when the whole region crashes — the resolver refuses."""
+    schedule = ChaosSchedule(
+        protocol="gentlerain", seed=7, placement="island",
+        events=[FaultEvent("region_outage", 0.6, 1.0, {"dc": 0})])
+    with pytest.raises(ValueError, match="island"):
+        run_case(schedule)
 
 
 @pytest.mark.parametrize("protocol", ["eventual", "gentlerain"])
