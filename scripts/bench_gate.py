@@ -159,7 +159,8 @@ def main(argv: list[str] | None = None) -> int:
                         default="bench_opbuffer_backend_overload_rig"
                                 "|bench_geo_small_e2e"
                                 "|bench_fig1_motivation_tradeoff_full"
-                                "|bench_placement_sweep",
+                                "|bench_placement_sweep"
+                                "|bench_obs_overhead",
                         help="regex: benchmarks gated at the wide "
                              "threshold — the end-to-end suites (overload "
                              "rig: ~±10%% run-to-run; small geo e2e run: "
@@ -170,8 +171,11 @@ def main(argv: list[str] | None = None) -> int:
                              "ROADMAP) plus the full-grid Figure 1 run "
                              "the batched sim core made affordable in CI "
                              "(single-round wall clock, so only the wide "
-                             "threshold is meaningful); pass '' to "
-                             "disable")
+                             "threshold is meaningful) plus the paired "
+                             "observability-overhead run, whose real check "
+                             "— the enabled/disabled wall ratio — is "
+                             "asserted in-bench where machine noise "
+                             "cancels; pass '' to disable")
     parser.add_argument("--wide-threshold", type=float, default=0.5,
                         help="max allowed median slowdown for --gate-wide "
                              "benchmarks (default 0.5 = 50%%, sized to the "

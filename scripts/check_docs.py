@@ -20,8 +20,9 @@ Checks, with zero dependencies beyond the stdlib:
    leave stale docs behind);
 5. every recognized value of the ablation-knob name tuples — the
    scheduler backends (``sim/env.py``), WAL codecs
-   (``durability/wal.py``), and chaos fault classes
-   (``harness/chaos.py``) — is documented in both README.md and
+   (``durability/wal.py``), chaos fault classes (``harness/chaos.py``),
+   placement policies (``core/placement.py``), and tracing pipeline
+   stages (``obs/trace.py``) — is documented in both README.md and
    docs/ARCHITECTURE.md, same rationale as the protocol registry.
 
 Exit code 0 when clean; prints every violation and exits 1 otherwise.
@@ -154,6 +155,7 @@ KNOB_TUPLES = [
     (REPO / "src" / "repro" / "durability" / "wal.py", "WAL_CODECS"),
     (REPO / "src" / "repro" / "harness" / "chaos.py", "FAULT_CLASSES"),
     (REPO / "src" / "repro" / "core" / "placement.py", "PLACEMENT_POLICIES"),
+    (REPO / "src" / "repro" / "obs" / "trace.py", "STAGES"),
 ]
 
 

@@ -229,6 +229,12 @@ class GstPartition(Process):
         self.visible.put(update.key, Versioned(update.value, update.ts,
                                                self.dc_id, update.vts))
         self.local_updates += 1
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            issued = msg.issued_at if msg.issued_at > 0.0 else None
+            span = tracer.commit(update, self.now, issued_at=issued)
+            if span is not None and self.siblings:
+                tracer.stage(update, "replicate", self.now, self.dc_id)
         data = RemoteData(update)
         self.multicast(self.siblings.values(), data)
         self.send(src, ClientUpdateReply(update.vts, msg.request_id))
@@ -267,10 +273,16 @@ class GstPartition(Process):
         self.remote_applies += 1
         now = self.now
         k, m = update.origin_dc, self.dc_id
-        self.metrics.point(f"vis_extra_ms:{k}->{m}", now,
-                           max(0.0, (now - arrival) * 1e3))
-        self.metrics.point(f"vis_total_ms:{k}->{m}", now,
-                           (now - update.commit_time) * 1e3)
+        extra_ms = max(0.0, (now - arrival) * 1e3)
+        total_ms = (now - update.commit_time) * 1e3
+        self.metrics.point(f"vis_extra_ms:{k}->{m}", now, extra_ms)
+        self.metrics.point(f"vis_total_ms:{k}->{m}", now, total_ms)
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.stage_once(update, "visible", now, m)
+        slo = self.metrics.slo
+        if slo is not None:
+            slo.visibility(k, m, total_ms, extra_ms)
 
     # ------------------------------------------------------------------
     # Stabilization rounds

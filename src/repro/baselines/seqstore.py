@@ -143,6 +143,12 @@ class SeqPartition(EunomiaPartition):
         )
         self._awaiting[update.uid] = (update, src, msg.request_id)
         self._retry[update.uid] = (self.now, 0, 0)
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            issued = msg.issued_at if msg.issued_at > 0.0 else None
+            span = tracer.commit(update, self.now, issued_at=issued)
+            if span is not None and self.siblings:
+                tracer.stage(update, "replicate", self.now, self.dc_id)
         self.send(self.sequencer, SeqRequest(replace(update, value=None)))
         # Ship the payload immediately (as EunomiaKV does): remote partitions
         # pair it with the sequencer-ordered metadata by uid, so the final
@@ -166,6 +172,9 @@ class SeqPartition(EunomiaPartition):
         self.store.put(stamped.key, Versioned(stamped.value, stamped.ts,
                                               self.dc_id, stamped.vts))
         self.local_updates += 1
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.stage_once(stamped, "seq_order", self.now, self.dc_id)
         if self.synchronous:
             self.send(client, ClientUpdateReply(msg.vts, request_id))
 

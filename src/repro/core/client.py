@@ -118,6 +118,7 @@ class SessionClient(Process):
             self.send(target, ClientUpdate(
                 self._key, self._value, self.vclock,
                 value_bytes=self._value_bytes, request_id=self._request_id,
+                issued_at=self._issued_at,
             ))
         if self.retry_timeout is not None:
             request_id = self._request_id
@@ -173,6 +174,9 @@ class SessionClient(Process):
         self.metrics.record(f"latency_ms:{self._kind}", latency_ms)
         self.metrics.point(f"latency_ms:{self._kind}:dc{self.dc_id}",
                            now, latency_ms)
+        slo = self.metrics.slo
+        if slo is not None:
+            slo.op(self._kind, self.dc_id, latency_ms)
         self.metrics.mark(self.op_mark, now)
         self.metrics.mark(f"{self.op_mark}:dc{self.dc_id}", now)
         if self.think_time > 0.0:

@@ -62,6 +62,11 @@ class ClientUpdate:
     client_vts: Tuple[int, ...]
     value_bytes: int = 0
     request_id: int = 0
+    #: client send time (sim seconds) — carried for tracing only, so a
+    #: sampled span can open with the true end-to-end "issue" stage; not
+    #: counted in size_bytes (real systems piggyback it in existing
+    #: request framing).
+    issued_at: float = 0.0
 
     @property
     def size_bytes(self) -> int:

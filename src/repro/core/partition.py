@@ -152,6 +152,14 @@ class EunomiaPartition(Process):
         )
         self.store.put(msg.key, Versioned(msg.value, ts, m, vts))
         self.local_updates += 1
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            # issued_at == 0.0 means "not threaded" (senders other than
+            # SessionClient); the span then opens at commit.
+            issued = msg.issued_at if msg.issued_at > 0.0 else None
+            span = tracer.commit(update, self.now, issued_at=issued)
+            if span is not None and self.siblings:
+                tracer.stage(update, "replicate", self.now, m)
         if self.config.separate_data_metadata:
             # §5: Eunomia orders identifiers; payloads go partition→sibling.
             self.uplink.record(replace(update, value=None))
@@ -209,6 +217,12 @@ class EunomiaPartition(Process):
         # straggler's own.
         self.metrics.point(
             f"vis_extra_ms:{k}->{m}:p{update.partition_index}", now, extra_ms)
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.stage_once(update, "visible", now, m)
+        slo = self.metrics.slo
+        if slo is not None:
+            slo.visibility(k, m, total_ms, extra_ms)
         self.send(receiver, ApplyRemoteOk(update.uid))
 
     # ------------------------------------------------------------------

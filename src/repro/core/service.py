@@ -271,6 +271,14 @@ class StabilizerBase(Process):
             self._post_batch(msg, src)
             return
         block = OpBlock.from_updates(ops[lo:] if lo else ops)
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            now, site = self.now, self.site
+            wal_name = self.wal.name if self.wal is not None else None
+            for op in (ops[lo:] if lo else ops):
+                tracer.ingest(op, now, site)
+                if wal_name is not None:
+                    tracer.wal_staged(wal_name, op, now, site)
         if self.wal is not None:
             # Every accepted (PartitionTime-advancing) op is logged,
             # buffered or not — replay filters below the recovery floor.
@@ -462,6 +470,11 @@ class EunomiaService(StabilizerBase):
             self.shipped_stable = stable_ts
         self.ops_stabilized += len(ops)
         self.metrics.mark_many(self.stable_mark, self.now, len(ops))
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            now, site = self.now, self.site
+            for op in ops:
+                tracer.stage_once(op, "propagate", now, site)
         batch = RemoteStableBatch(self.site, tuple(ops))
         self.multicast(self.destinations, batch)
         self._post_stabilize(stable_ts, ops)

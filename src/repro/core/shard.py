@@ -325,6 +325,11 @@ class ShardCoordinator(Process):
             ops = list(heapq.merge(*runs, key=Update.order_key))
         else:
             ops = runs[0]
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            now, site = self.now, self.site
+            for op in ops:
+                tracer.stage_once(op, "merge", now, site)
         # Prune floors are snapshotted NOW, not when the queued propagate
         # finally runs: a later drain may advance stable_time while this
         # release still waits in the service queue, and gossiping the newer
@@ -363,6 +368,11 @@ class ShardCoordinator(Process):
                     shipped[k] = floor
         self.ops_stabilized += len(ops)
         self.metrics.mark_many(self.stable_mark, self.now, len(ops))
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            now, site = self.now, self.site
+            for op in ops:
+                tracer.stage_once(op, "propagate", now, site)
         batch = RemoteStableBatch(self.site, tuple(ops))
         self.multicast(self.destinations, batch)
         self._post_propagate(ops, floors)

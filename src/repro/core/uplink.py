@@ -215,6 +215,14 @@ class EunomiaUplink:
                            resend=(n_new == 0))
         cost = self.batch_cost + self.op_cost * n_new
         self.ops_shipped += n_new
+        metrics = getattr(self.host, "metrics", None)
+        tracer = metrics.tracer if metrics is not None else None
+        if tracer is not None:
+            # stage_once: retransmissions re-ship the same window; only
+            # the first departure is the pipeline latency
+            now, site = self.host.now, self.host.site
+            for op in ops:
+                tracer.stage_once(op, "uplink_ship", now, site)
         self.host._enqueue(lambda: self.host.send(replica, batch), cost)
 
     def _prune(self) -> None:

@@ -97,7 +97,7 @@ class WriteAheadLog:
                  "_staged_bytes", "_scheduled_bytes", "_last_staged_ts",
                  "_last_durable_ts", "appends", "commits", "bytes_durable",
                  "records_truncated", "_fail_fsyncs", "fsync_failures",
-                 "records_torn")
+                 "records_torn", "obs_hook")
 
     def __init__(self, name: str, disk: Optional[DiskModel] = None,
                  codec: str = DEFAULT_WAL_CODEC):
@@ -123,6 +123,10 @@ class WriteAheadLog:
         self._fail_fsyncs = 0               # injected: next N commits fail
         self.fsync_failures = 0
         self.records_torn = 0
+        #: observability callback ``hook(wal)``, fired after each commit
+        #: that moved records durable (repro.obs closes wal_fsync spans
+        #: here).  None when no instruments are attached.
+        self.obs_hook = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -131,6 +135,11 @@ class WriteAheadLog:
     def staged(self) -> int:
         """Volatile records awaiting a commit (0 after every flush)."""
         return len(self._staged)
+
+    @property
+    def unflushed_bytes(self) -> int:
+        """Staged bytes not yet made durable (the gauge the scraper reads)."""
+        return self._staged_bytes
 
     # ------------------------------------------------------------------
     # Staging (volatile)
@@ -253,6 +262,8 @@ class WriteAheadLog:
             self._scheduled_bytes = 0
             self._last_durable_ts = self._last_staged_ts
             self.commits += 1
+            if self.obs_hook is not None:
+                self.obs_hook(self)
         return moved
 
     def lose_volatile(self) -> None:

@@ -238,6 +238,32 @@ class Datacenter:
         return [self.partitions[i]
                 for i in self.placement.resident_partitions(self.dc_id)]
 
+    def stable_time_us(self) -> Optional[int]:
+        """This DC's stabilization floor in clock microseconds, or None.
+
+        Protocol-generic (the gauge scraper's stabilization-lag source):
+        Eunomia-style sites report the leader stabilizer's ``stable_time``;
+        GST-family sites report the minimum tracked summary entry across
+        resident partitions (GST scalar, or min over the GSV); protocols
+        with neither notion (eventual, sequencer stores) return None.
+        Read-only — never touches a clock.
+        """
+        if self.stack is not None:
+            return getattr(self.leader(), "stable_time", None)
+        floor: Optional[int] = None
+        for partition in self.resident_partitions():
+            summary = getattr(partition, "summary", None)
+            if summary is None:
+                continue
+            for entry in summary:
+                # UNTRACKED sentinel entries (partial placement) act as
+                # +inf in the aggregator min and are skipped here too
+                if entry >= (1 << 62):
+                    continue
+                if floor is None or entry < floor:
+                    floor = entry
+        return floor
+
     def store_snapshot(self) -> dict:
         """Union of the resident partition stores: key → (ts, origin, value)."""
         merged: dict = {}

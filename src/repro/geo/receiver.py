@@ -161,6 +161,9 @@ class Receiver(Process):
             return skipped
         self._inflight[k] = update
         target = self.partitions[self.ring.partition_for(update.key)]
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.stage_once(update, "recv_apply", self.now, self.dc_id)
         self.send(target, ApplyRemote(update))
         return skipped
 

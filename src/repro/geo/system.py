@@ -100,6 +100,8 @@ class GeoSystem:
         self.protocol = protocol
         #: normalized placement map (None = full replication)
         self.placement = placement
+        #: observability handle, set by :meth:`observe` (None = detached)
+        self.obs = None
         #: the NTP synchronizer disciplining every site clock (None for
         #: hand-assembled systems) — the chaos DSL's ntp_outage target
         self.ntp = ntp
@@ -138,6 +140,17 @@ class GeoSystem:
             if self._started:
                 self._failures.arm()
         return self._failures
+
+    def observe(self, **kwargs):
+        """Attach causal tracing + SLO sketches + gauges (see repro.obs).
+
+        Convenience for ``attach_observability(self, **kwargs)``; call
+        before :meth:`run`.  The handle is also kept on ``self.obs``.
+        """
+        from ..obs import attach_observability  # local import avoids cycle
+
+        self.obs = attach_observability(self, **kwargs)
+        return self.obs
 
     def run(self, duration: float) -> None:
         """Start (if needed) and advance the simulation ``duration`` seconds."""

@@ -34,6 +34,7 @@ make every oracle hold on every seed.
 from __future__ import annotations
 
 import argparse
+import bisect
 import json
 import random
 import sys
@@ -381,14 +382,40 @@ class CaseResult:
     failures: list[str] = field(default_factory=list)
     fired: list[str] = field(default_factory=list)
     throughput: float = 0.0
+    #: one entry per scheduled fault: {cls, start, stop, mttr_s} where
+    #: mttr_s is the delay from the fault's heal to the next completed
+    #: client op (None if the run never produced one)
+    mttr: list = field(default_factory=list)
+    #: Chrome-trace-event dict (sampled spans + gauges + fault windows),
+    #: Perfetto-loadable; None only when the run crashed before digesting
+    trace: Optional[dict] = None
 
 
-def run_case(schedule: ChaosSchedule, scheduler: str = "heap") -> CaseResult:
+def _mttr_samples(system, schedule: ChaosSchedule) -> list:
+    """Time-to-recover per scheduled fault: heal → next completed op."""
+    marks = sorted(system.metrics.mark_times("ops"))
+    samples = []
+    for event in schedule.events:
+        i = bisect.bisect_right(marks, event.stop)
+        mttr_s = marks[i] - event.stop if i < len(marks) else None
+        if mttr_s is not None:
+            system.metrics.record(f"mttr_s:{event.cls}", mttr_s)
+        samples.append({"fault": event.cls, "start": event.start,
+                        "stop": event.stop, "mttr_s": mttr_s})
+    return samples
+
+
+def run_case(schedule: ChaosSchedule, scheduler: str = "heap",
+             observe: bool = True) -> CaseResult:
     """Run one chaos case and evaluate every oracle.
 
     Never raises on an oracle failure — the verdict (and the evidence)
     comes back in the :class:`CaseResult` so the matrix can keep going
-    and artifacts can be written for every failing seed.
+    and artifacts can be written for every failing seed.  ``observe``
+    (default on: it is golden-invisible and the runs are small) attaches
+    the repro.obs surface so every result carries a Perfetto-loadable
+    trace with fault windows, MTTR slices, spans, and gauges on one
+    timeline.
     """
     history = SessionHistory()
     spec_kwargs = dict(_SPEC)
@@ -405,6 +432,7 @@ def run_case(schedule: ChaosSchedule, scheduler: str = "heap") -> CaseResult:
                               **_options_for(schedule.protocol,
                                              schedule.placement))
     apply_schedule(system, schedule)
+    obs = system.observe(sample_every=16) if observe else None
     failures: list[str] = []
     try:
         system.run(_RUN_FOR)
@@ -434,8 +462,16 @@ def run_case(schedule: ChaosSchedule, scheduler: str = "heap") -> CaseResult:
                   for r in history.session(c) if r.time > last_stop + 0.2]
     if not post_fault:
         failures.append("stall: no client ops after the last fault healed")
+    mttr = _mttr_samples(system, schedule)
+    trace = None
+    if obs is not None:
+        from ..obs import chrome_trace
+
+        trace = chrome_trace(tracer=obs.tracer, metrics=system.metrics,
+                             fault_log=system.failures().log, mttr=mttr)
     return CaseResult(schedule, not failures, failures,
-                      [l for _, l in system.failures().log], throughput)
+                      [l for _, l in system.failures().log], throughput,
+                      mttr=mttr, trace=trace)
 
 
 def run_exactly_once_drill(seed: int, n_partitions: int = 4) -> list[str]:
@@ -515,8 +551,17 @@ def run_matrix(seeds, protocols=None, out: Optional[Path] = None,
                     payload = json.loads(schedule.to_json())
                     payload["oracle_failures"] = result.failures
                     payload["fired"] = result.fired
+                    payload["mttr"] = result.mttr
                     path.write_text(json.dumps(payload, indent=2))
                     progress(f"    schedule written to {path}")
+                    if result.trace is not None:
+                        # the sampled spans + gauge series + fault windows,
+                        # Perfetto-loadable next to the replayable schedule
+                        trace_path = (out /
+                                      f"failing_{protocol}_seed{seed}"
+                                      f"_trace.json")
+                        trace_path.write_text(json.dumps(result.trace))
+                        progress(f"    trace written to {trace_path}")
     return results
 
 
@@ -552,6 +597,11 @@ def main(argv=None) -> int:
               f"{'ok' if result.ok else 'FAIL'}")
         for line in result.fired:
             print(f"  fired: {line}")
+        for sample in result.mttr:
+            mttr_s = sample["mttr_s"]
+            shown = "never recovered" if mttr_s is None else f"{mttr_s * 1e3:.2f} ms"
+            print(f"  mttr: {sample['fault']} healed at {sample['stop']}s "
+                  f"-> {shown}")
         for line in result.failures:
             print(f"  oracle: {line}")
         return 0 if result.ok else 1

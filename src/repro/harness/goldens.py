@@ -88,13 +88,18 @@ def capture_golden(protocol: str, seed: int,
                    run_seconds: float = _RUN_SECONDS,
                    drain_seconds: float = _DRAIN_SECONDS,
                    scheduler: str = "heap",
+                   observe: bool = False,
                    **kwargs) -> dict:
     """Build ``protocol`` at ``seed`` on the golden frame and digest it.
 
     ``scheduler`` picks the event-loop backend (``"heap"``/``"wheel"``);
     backends fire in identical (time, seq) order, so the digest must not
     depend on the choice — the cross-backend golden test asserts exactly
-    that.
+    that.  ``observe=True`` attaches the full observability surface
+    (tracing + SLO sketches + gauges, ``repro.obs``) before the run; the
+    instruments draw no randomness and schedule only read-only periodics,
+    so the digest must not depend on this flag either — the
+    golden-preservation test asserts exactly that.
     """
     from ..baselines import build_system
     from ..geo.system import GeoSystemSpec
@@ -103,6 +108,8 @@ def capture_golden(protocol: str, seed: int,
     spec = GeoSystemSpec(seed=seed, scheduler=scheduler, **GOLDEN_SPEC)
     workload = WorkloadSpec(**GOLDEN_WORKLOAD)
     system = build_system(protocol, spec, workload, **kwargs)
+    if observe:
+        system.observe(sample_every=16)
     system.run(run_seconds)
     system.quiesce(drain_seconds)
     out = {"protocol": protocol, "seed": seed}

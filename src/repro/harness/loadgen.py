@@ -222,6 +222,24 @@ class ServiceRig:
         for driver in self.drivers:
             driver.start()
 
+    def observe(self, sample_every: int = 16):
+        """Attach a sampled causal tracer to the rig (see repro.obs).
+
+        Rig ops are emulator-generated (no client issue stamp), so spans
+        open at service ingestion; WAL group commits are hooked the same
+        way the geo spine does it.  Returns the tracer.
+        """
+        from ..obs import Tracer  # local import keeps obs optional here
+
+        tracer = Tracer(sample_every=sample_every)
+        self.metrics.tracer = tracer
+        for proc in self.service_processes:
+            wal = getattr(proc, "wal", None)
+            if wal is not None:
+                site = getattr(proc, "site", 0)
+                wal.obs_hook = tracer.wal_hook(self.env, site)
+        return tracer
+
     def run(self, duration: float) -> None:
         self.start()
         start = self.env.now

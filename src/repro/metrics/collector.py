@@ -31,6 +31,12 @@ class MetricsHub:
         self.samples: dict[str, list[float]] = defaultdict(list)
         self.marks: dict[str, list[float]] = defaultdict(list)
         self.points: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        # Observability hooks (repro.obs): components fetch these and test
+        # for None, so a hub without instruments attached costs one
+        # attribute read per call site.
+        self.tracer = None     # repro.obs.trace.Tracer when attached
+        self.slo = None        # repro.obs.sketch.SloRecorder when attached
+        self.sketches: dict[str, object] = {}
 
     # -- recording ------------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
@@ -67,18 +73,39 @@ class MetricsHub:
         """Append a (time, value) pair to the series ``name``."""
         self.points[name].append((time, value))
 
+    def observe(self, name: str, value: float) -> None:
+        """Feed ``value`` into the streaming sketch ``name``.
+
+        Unlike :meth:`record`, this keeps O(log range) state per series
+        (a :class:`repro.obs.sketch.LogBinHistogram`), so million-op runs
+        can report p50/p99/p999 without holding per-op lists.
+        """
+        self.sketch(name).add(value)
+
+    def sketch(self, name: str, rel_err: float = 0.01):
+        """Get or create the streaming quantile sketch ``name``."""
+        sk = self.sketches.get(name)
+        if sk is None:
+            # local import: obs depends on metrics, not the reverse
+            from ..obs.sketch import LogBinHistogram
+            sk = self.sketches[name] = LogBinHistogram(rel_err)
+        return sk
+
     # -- lightweight queries (heavier math lives in summary.py) ---------
+    # Query methods return *copies*: the internal lists keep growing while
+    # the simulation runs, so handing them out live would let summary code
+    # mutate (or observe a moving view of) a run mid-flight.
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     def sample_values(self, name: str) -> list[float]:
-        return self.samples.get(name, [])
+        return list(self.samples.get(name, ()))
 
     def mark_times(self, name: str) -> list[float]:
-        return self.marks.get(name, [])
+        return list(self.marks.get(name, ()))
 
     def point_series(self, name: str) -> list[tuple[float, float]]:
-        return self.points.get(name, [])
+        return list(self.points.get(name, ()))
 
     def names(self) -> dict[str, list[str]]:
         """All recorded metric names, grouped by kind (debug aid)."""
@@ -106,4 +133,7 @@ class NullMetrics(MetricsHub):
         pass
 
     def point(self, name: str, time: float, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # noqa: D102
         pass

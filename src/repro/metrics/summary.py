@@ -13,11 +13,13 @@ Mirrors the measurement methodology of §7:
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
 
 __all__ = [
+    "EmptySeriesWarning",
     "percentile",
     "cdf",
     "mean",
@@ -29,14 +31,39 @@ __all__ = [
 ]
 
 
+class EmptySeriesWarning(UserWarning):
+    """A statistic was requested over an empty series.
+
+    Usually a dead or misnamed metric name — the 0.0 it used to return
+    silently renders as a plausible-looking flat line in figures.
+    """
+
+
+#: Module-wide strictness: when True, :func:`percentile` raises on empty
+#: input instead of warning.  Figure scripts can flip this to fail fast.
+STRICT_EMPTY = False
+
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for empty input."""
     return float(np.mean(values)) if len(values) else 0.0
 
 
-def percentile(values: Sequence[float], pct: float) -> float:
-    """The ``pct``-th percentile (linear interpolation); 0.0 if empty."""
+def percentile(values: Sequence[float], pct: float,
+               strict: Optional[bool] = None) -> float:
+    """The ``pct``-th percentile (linear interpolation).
+
+    Empty input emits :class:`EmptySeriesWarning` and returns 0.0, or
+    raises ``ValueError`` when ``strict`` is true (default: the module
+    flag ``STRICT_EMPTY``) — a silent 0.0 masks dead/misnamed series.
+    """
     if not len(values):
+        if strict if strict is not None else STRICT_EMPTY:
+            raise ValueError(f"percentile(p{pct:g}) over an empty series")
+        warnings.warn(
+            f"percentile(p{pct:g}) over an empty series; returning 0.0 "
+            "(dead or misnamed metric name?)",
+            EmptySeriesWarning, stacklevel=2)
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=float), pct))
 

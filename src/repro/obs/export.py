@@ -1,0 +1,195 @@
+"""Export surfaces: Chrome-trace-event JSON and the SLO report table.
+
+``chrome_trace`` flattens sampled spans, gauge series, fault-injection
+windows, and MTTR measurements into the Chrome Trace Event format (the
+``{"traceEvents": [...]}`` JSON object), loadable in Perfetto / DevTools:
+
+* each consecutive pair of span events becomes an ``"X"`` complete slice
+  named after the *destination* stage (``dur`` = stage-to-stage latency),
+  laid out with ``pid`` = serving DC and ``tid`` = a per-span lane;
+* every ``gauge:*:dc{m}`` point series becomes ``"C"`` counter events on
+  the owning DC's track;
+* fault firings become global ``"i"`` instants on a dedicated fault track,
+  and MTTR measurements become slices from fault-stop to first recovered
+  op, so a chaos run's damage windows sit on the same timeline as the
+  spans they disrupt.
+
+``render_slo_report`` prints the per-DC × op-kind p50/p99/p999 table from
+a :class:`~repro.obs.sketch.SloRecorder`, plus visibility latency per
+DC pair and stabilization-lag percentiles from the gauge series.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+from ..metrics.summary import percentile
+
+__all__ = ["chrome_trace", "write_chrome_trace", "render_slo_report"]
+
+#: synthetic pid for the fault-injection track in exported traces
+FAULT_TRACK_PID = 9999
+
+_GAUGE_RE = re.compile(r"^gauge:(?P<name>.+):dc(?P<dc>\d+)$")
+
+
+def chrome_trace(tracer=None, metrics=None, fault_log=None,
+                 mttr=None, dc_ids=None) -> dict:
+    """Build a Chrome-trace-event dict from any subset of sources."""
+    events = []
+    pids = set(dc_ids or ())
+
+    # --- span slices ---------------------------------------------------
+    if tracer is not None:
+        for lane, span in enumerate(tracer.iter_spans()):
+            timeline = span.sorted_events()
+            for (_, t0, _), (stage, t1, site) in zip(timeline, timeline[1:]):
+                pids.add(site)
+                events.append({
+                    "ph": "X",
+                    "name": stage,
+                    "cat": "span",
+                    "ts": t0 * 1e6,
+                    "dur": max(0.0, (t1 - t0) * 1e6),
+                    "pid": site,
+                    "tid": lane,
+                    "args": {"uid": list(span.uid), "key": repr(span.key)},
+                })
+
+    # --- gauge counters ------------------------------------------------
+    if metrics is not None:
+        for name in sorted(metrics.points):
+            match = _GAUGE_RE.match(name)
+            if match is None:
+                continue
+            gauge, pid = match.group("name"), int(match.group("dc"))
+            pids.add(pid)
+            for t, value in metrics.point_series(name):
+                events.append({
+                    "ph": "C",
+                    "name": gauge,
+                    "cat": "gauge",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {gauge: value},
+                })
+
+    # --- fault windows + MTTR ------------------------------------------
+    if fault_log:
+        for t, label in fault_log:
+            events.append({
+                "ph": "i",
+                "name": label,
+                "cat": "fault",
+                "s": "g",
+                "ts": t * 1e6,
+                "pid": FAULT_TRACK_PID,
+                "tid": 0,
+            })
+    if mttr:
+        for entry in mttr:
+            if entry.get("mttr_s") is None:
+                continue
+            events.append({
+                "ph": "X",
+                "name": f"recover:{entry['fault']}",
+                "cat": "mttr",
+                "ts": entry["stop"] * 1e6,
+                "dur": entry["mttr_s"] * 1e6,
+                "pid": FAULT_TRACK_PID,
+                "tid": 1,
+            })
+
+    # --- process metadata ----------------------------------------------
+    meta = []
+    for pid in sorted(pids):
+        meta.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"dc{pid}"},
+        })
+    if fault_log or mttr:
+        meta.append({
+            "ph": "M", "name": "process_name", "pid": FAULT_TRACK_PID,
+            "tid": 0, "args": {"name": "faults"},
+        })
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer=None, metrics=None, fault_log=None,
+                       mttr=None, dc_ids=None) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; return the dict."""
+    trace = chrome_trace(tracer=tracer, metrics=metrics,
+                         fault_log=fault_log, mttr=mttr, dc_ids=dc_ids)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# SLO report
+# ----------------------------------------------------------------------
+_QUANTILES = (50.0, 99.0, 99.9)
+
+
+def _sketch_row(sketch) -> str:
+    cells = "  ".join(f"{sketch.quantile(q):>9.3f}" for q in _QUANTILES)
+    return f"{sketch.n:>8d}  {cells}"
+
+
+def render_slo_report(metrics, slo=None, tracer=None) -> str:
+    """Render the per-DC × op-kind SLO table as a plain-text report.
+
+    ``slo`` defaults to ``metrics.slo`` so callers holding only the hub
+    get the full table.  Sections with no data are omitted.
+    """
+    if slo is None:
+        slo = getattr(metrics, "slo", None)
+    lines = []
+    header = f"{'count':>8s}  " + "  ".join(
+        f"{'p' + str(q).rstrip('0').rstrip('.'):>9s}" for q in _QUANTILES)
+
+    if slo is not None and slo.op_latency:
+        lines.append("operation latency (ms) per DC x op kind")
+        lines.append(f"  {'dc':>3s} {'kind':<8s} {header}")
+        for (kind, dc) in sorted(slo.op_latency, key=lambda k: (k[1], k[0])):
+            lines.append(f"  {dc:>3d} {kind:<8s} "
+                         f"{_sketch_row(slo.op_latency[(kind, dc)])}")
+        lines.append("")
+
+    if slo is not None and slo.vis_total:
+        lines.append("remote visibility latency (ms) per origin->dest")
+        lines.append(f"  {'path':>8s} {header}   "
+                     f"{'extra p99':>9s}")
+        for (k, m) in sorted(slo.vis_total):
+            extra = slo.vis_extra.get((k, m))
+            extra_p99 = extra.quantile(99.0) if extra is not None else 0.0
+            lines.append(f"  dc{k}->dc{m:<2d} "
+                         f"{_sketch_row(slo.vis_total[(k, m)])}   "
+                         f"{extra_p99:>9.3f}")
+        lines.append("")
+
+    stab_names = sorted(n for n in metrics.points
+                        if n.startswith("gauge:stab_lag_ms:dc"))
+    if stab_names:
+        lines.append("stabilization lag (ms), now - StableTime per DC")
+        lines.append(f"  {'dc':>3s} {header}")
+        for name in stab_names:
+            dc = int(name.rsplit("dc", 1)[1])
+            values = [v for _, v in metrics.point_series(name)]
+            if not values:
+                continue
+            cells = "  ".join(f"{percentile(values, q):>9.3f}"
+                              for q in _QUANTILES)
+            lines.append(f"  {dc:>3d} {len(values):>8d}  {cells}")
+        lines.append("")
+
+    if tracer is not None and len(tracer):
+        lines.append(f"sampled spans: {len(tracer)} "
+                     f"(1-in-{tracer.sample_every}, {tracer.dropped} dropped)")
+
+    if not lines:
+        lines.append("no SLO data recorded (was observability attached?)")
+    return "\n".join(lines).rstrip() + "\n"
