@@ -11,10 +11,7 @@ from conftest import run_figure
 from repro.harness.figures import fig5
 
 
-def bench_fig5_geo_throughput(benchmark):
-    params = fig5.Fig5Params.quick()
-    result = run_figure(benchmark, fig5, params)
-
+def _assert_fig5_shapes(result):
     for row in result.rows:
         label, eventual, eunomia, gentlerain, cure, drop = row
         assert eunomia > gentlerain > cure, label
@@ -25,3 +22,22 @@ def bench_fig5_geo_throughput(benchmark):
     heavy = result.rows[0]   # 50:50
     light = result.rows[-1]  # most read-heavy in the sweep
     assert heavy[1] < light[1]
+
+
+def bench_fig5_geo_throughput(benchmark):
+    result = run_figure(benchmark, fig5, fig5.Fig5Params.quick())
+    _assert_fig5_shapes(result)
+
+
+def bench_fig5_geo_throughput_full(benchmark):
+    """Figure 5 over its full paper grid — all four read:write mixes, both
+    key distributions, 5 s runs, 8 clients per DC (32 protocol deployments
+    per round).  Promoted to CI by the batched dataplane under the same
+    recipe as the full Figure 1 run: the simulated results are asserted
+    in-bench, and the wall clock is gated at the wide threshold so a
+    substrate slowdown that prices the full figure back out of CI fails
+    the gate.  Variance measured before gating: ~14% peak-to-peak median
+    across back-to-back runs on the baseline machine — well inside the
+    50% wide threshold."""
+    result = run_figure(benchmark, fig5, fig5.Fig5Params())
+    _assert_fig5_shapes(result)

@@ -26,6 +26,17 @@ linger in the baseline until it is refreshed).  To refresh after an
 intentional change:
 
     python scripts/bench_gate.py --fresh bench-results.json --write-baseline
+
+Lingering has a limit, though: a baseline entry whose benchmark no longer
+*exists* (renamed, retired, or its file deleted) is dead weight that hides
+coverage loss — the gate would silently stop judging a path that used to be
+gated.  ``--check-stale`` collects the benchmark suite (``pytest
+--collect-only``) and fails if the baseline carries entries no collected
+benchmark can produce; ``--prune`` rewrites the baseline with those
+orphans removed instead of failing.  Neither needs ``--fresh``:
+
+    python scripts/bench_gate.py --check-stale
+    python scripts/bench_gate.py --prune
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -133,13 +145,71 @@ def compare(baseline: dict[str, float], fresh: dict[str, float],
     return failures, lines
 
 
+def collect_bench_ids(bench_dir: Path) -> set[str]:
+    """Node ids of every currently collectable benchmark (pytest collection).
+
+    Collection — not a run: ``--collect-only -q`` prints one node id per
+    line in exactly the ``fullname`` format the ``--benchmark-json`` stats
+    carry (``benchmarks/bench_x.py::bench_fn[param]``), including
+    parametrized variants a static scan of the files could not know about.
+    """
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(bench_dir), "--collect-only",
+         "-q", "-p", "no:cacheprovider"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    if proc.returncode not in (0, 5):   # 5 = no tests collected
+        raise RuntimeError(
+            f"benchmark collection failed (exit {proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    ids = set()
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if "::" in line and not line.startswith("="):
+            ids.add(line)
+    return ids
+
+
+def stale_entries(baseline_path: Path, bench_dir: Path) -> list[str]:
+    """Baseline fullnames no collected benchmark produces (sorted)."""
+    baseline = load_medians(baseline_path)
+    collected = collect_bench_ids(bench_dir)
+    return sorted(name for name in baseline if name not in collected)
+
+
+def prune_baseline(baseline_path: Path, orphans: list[str]) -> None:
+    """Rewrite the baseline file with the orphaned entries removed."""
+    with open(baseline_path) as fh:
+        data = json.load(fh)
+    dead = set(orphans)
+    data["benchmarks"] = [
+        bench for bench in data.get("benchmarks", [])
+        if (bench.get("fullname") or bench["name"]) not in dead
+    ]
+    baseline_path.write_text(json.dumps(data, indent=2, sort_keys=True)
+                             + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help="committed baseline JSON "
                              "(default: benchmarks/BENCH_baseline.json)")
-    parser.add_argument("--fresh", type=Path, required=True,
-                        help="fresh --benchmark-json output to check")
+    parser.add_argument("--fresh", type=Path,
+                        help="fresh --benchmark-json output to check "
+                             "(required except with --check-stale/--prune)")
+    parser.add_argument("--bench-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks",
+                        help="benchmark suite to collect for the staleness "
+                             "check (default: benchmarks/)")
+    parser.add_argument("--check-stale", action="store_true",
+                        help="fail if the baseline carries entries no "
+                             "collected benchmark produces (renamed or "
+                             "retired benches whose baseline rows would "
+                             "otherwise hide coverage loss forever)")
+    parser.add_argument("--prune", action="store_true",
+                        help="like --check-stale, but rewrite the baseline "
+                             "with the orphaned entries removed and exit 0")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed median slowdown as a fraction "
                              "(default 0.25 = 25%%)")
@@ -158,7 +228,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gate-wide",
                         default="bench_opbuffer_backend_overload_rig"
                                 "|bench_geo_small_e2e"
+                                "|bench_geo_update_heavy_e2e"
                                 "|bench_fig1_motivation_tradeoff_full"
+                                "|bench_fig5_geo_throughput_full"
+                                "|bench_fig7_straggler_full"
                                 "|bench_placement_sweep"
                                 "|bench_obs_overhead",
                         help="regex: benchmarks gated at the wide "
@@ -168,10 +241,12 @@ def main(argv: list[str] | None = None) -> int:
                              "sweep grid: ±5.4%% stdev / 14%% peak-to-peak "
                              "on an idle machine, but CI runners are far "
                              "noisier; all measured before gating, per the "
-                             "ROADMAP) plus the full-grid Figure 1 run "
-                             "the batched sim core made affordable in CI "
-                             "(single-round wall clock, so only the wide "
-                             "threshold is meaningful) plus the paired "
+                             "ROADMAP; the update-heavy FT run rides the "
+                             "same rig) plus the full-grid Figure 1/5/7 "
+                             "runs the batched sim core and dataplane made "
+                             "affordable in CI (single-round wall clock, "
+                             "so only the wide threshold is meaningful) "
+                             "plus the paired "
                              "observability-overhead run, whose real check "
                              "— the enabled/disabled wall ratio — is "
                              "asserted in-bench where machine noise "
@@ -185,6 +260,33 @@ def main(argv: list[str] | None = None) -> int:
                              "exit 0 (use after intentional perf changes)")
     args = parser.parse_args(argv)
 
+    if args.check_stale or args.prune:
+        if not args.baseline.exists():
+            print(f"bench gate: no baseline at {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        orphans = stale_entries(args.baseline, args.bench_dir)
+        if not orphans:
+            print("bench gate: baseline is fresh — every entry matches a "
+                  "collected benchmark")
+            return 0
+        if args.prune:
+            prune_baseline(args.baseline, orphans)
+            print(f"bench gate: pruned {len(orphans)} stale baseline "
+                  "entr(y/ies):")
+            for name in orphans:
+                print(f"  {name}")
+            return 0
+        print(f"bench gate: STALE — {len(orphans)} baseline entr(y/ies) "
+              "match no collected benchmark:", file=sys.stderr)
+        for name in orphans:
+            print(f"  {name}", file=sys.stderr)
+        print("  (rerun with --prune to drop them, or restore the "
+              "benchmarks)", file=sys.stderr)
+        return 1
+
+    if args.fresh is None:
+        parser.error("--fresh is required unless --check-stale/--prune")
     if not args.fresh.exists():
         print(f"bench gate: fresh results {args.fresh} not found",
               file=sys.stderr)

@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Hot-path profiling harness: where do the benchmark scenarios spend time?
+
+Runs the repository's end-to-end benchmark scenarios (the small geo
+deployment and the update-heavy fault-tolerant deployment from
+``benchmarks/bench_geo_e2e.py``, plus the sim-core ping-pong workload from
+``benchmarks/bench_sim_core.py``) under :mod:`cProfile` and reports the
+top-N hotspots per scenario, keyed ``relative/path.py:function``.
+
+The point is *drift visibility*, not gating: wall-clock gates
+(``scripts/bench_gate.py``) catch "it got slower", this harness answers
+"what got slower".  Each hotspot's **share** of its scenario's total profile
+time is machine-independent enough to diff across runs, so the committed
+snapshot (``benchmarks/PROFILE_baseline.json``) doubles as a profile
+regression reference:
+
+    python scripts/profile_hotpath.py                  # profile + report
+    python scripts/profile_hotpath.py --diff           # + compare shares
+    python scripts/profile_hotpath.py --write-baseline # refresh snapshot
+
+``--diff`` is advisory by default (exit 0, report only) — profiles shift
+with interpreter version and hardware; it flags hotspots whose share grew
+past ``--grow-threshold`` percentage points and functions newly in the
+top-N.  ``--strict`` turns those advisories into a nonzero exit for local
+use.  CI runs the advisory form so the profile story lands in the logs of
+every smoke-bench run without flaking the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "PROFILE_baseline.json"
+
+
+# ----------------------------------------------------------------------
+# Scenarios (mirroring the committed benchmark workloads)
+# ----------------------------------------------------------------------
+def scenario_geo_small() -> None:
+    """The bench_geo_small_e2e deployment: 3x4x8 EunomiaKV, 2 sim-seconds."""
+    import bench_geo_e2e as bench
+    from repro.geo.system import build_geo_system
+
+    system = build_geo_system("eunomia", bench.SPEC, bench.WL)
+    system.run(2.0)
+
+
+def scenario_geo_update_heavy() -> None:
+    """The bench_geo_update_heavy_e2e deployment: 90:10 writes, FT R=2."""
+    import bench_geo_e2e as bench
+    from repro.core.config import EunomiaConfig
+    from repro.geo.system import build_geo_system
+
+    config = EunomiaConfig(fault_tolerant=True, n_replicas=2)
+    system = build_geo_system("eunomia", bench.UPDATE_SPEC, bench.UPDATE_WL,
+                              config=config)
+    system.run(2.0)
+
+
+def scenario_sim_core_pingpong() -> None:
+    """bench_network_message_round's 20k-round FIFO ping-pong workload."""
+    from repro.sim import ConstantLatency, Environment, Network, Process
+
+    class Pong:
+        size_bytes = 16
+
+    class Peer(Process):
+        def __init__(self, env, name, rounds):
+            super().__init__(env, name)
+            self.rounds = rounds
+            self.other = None
+
+        def on_pong(self, msg, src):
+            if self.rounds > 0:
+                self.rounds -= 1
+                self.send(self.other, Pong())
+
+    env = Environment(seed=1)
+    Network(env, ConstantLatency(0.0001))
+    a, b = Peer(env, "a", 10_000), Peer(env, "b", 10_000)
+    a.other, b.other = b, a
+    a.send(b, Pong())
+    env.run()
+
+
+SCENARIOS = {
+    "geo_small": scenario_geo_small,
+    "geo_update_heavy": scenario_geo_update_heavy,
+    "sim_core_pingpong": scenario_sim_core_pingpong,
+}
+
+
+def _warm_imports() -> None:
+    """Import everything the scenarios touch before profiling starts.
+
+    Module import (compile + exec) otherwise lands inside the first
+    profiled scenario as `builtins.compile` noise that diffs as a phantom
+    hotspot on cold caches.
+    """
+    import bench_geo_e2e                    # noqa: F401
+    from repro.core.config import EunomiaConfig          # noqa: F401
+    from repro.geo.system import build_geo_system        # noqa: F401
+    from repro.sim import (                              # noqa: F401
+        ConstantLatency, Environment, Network, Process)
+
+
+# ----------------------------------------------------------------------
+# Profiling + hotspot extraction
+# ----------------------------------------------------------------------
+def _func_key(func: tuple) -> str:
+    """Stable machine-independent key for a pstats function tuple."""
+    filename, _lineno, name = func
+    if filename.startswith("~") or filename.startswith("<"):
+        return f"{filename}:{name}"       # builtins / C functions
+    path = Path(filename)
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT)
+        return f"{rel.as_posix()}:{name}"
+    except ValueError:
+        return f"{path.name}:{name}"      # stdlib / site-packages
+
+
+def profile_scenario(fn, top_n: int) -> dict:
+    """Run ``fn`` under cProfile; return total time + top-N by tottime.
+
+    Same-key entries (e.g. a function compiled at two line numbers across
+    reloads) are merged before ranking so the key space stays diffable.
+    """
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt
+    merged: dict[str, dict] = {}
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        key = _func_key(func)
+        row = merged.setdefault(
+            key, {"func": key, "ncalls": 0, "tottime_s": 0.0,
+                  "cumtime_s": 0.0})
+        row["ncalls"] += nc
+        row["tottime_s"] += tt
+        # cumtime of a merged pair is not additive in general, but for
+        # display/ranking the max of the variants is the honest figure
+        row["cumtime_s"] = max(row["cumtime_s"], ct)
+    hotspots = sorted(merged.values(), key=lambda r: -r["tottime_s"])[:top_n]
+    for row in hotspots:
+        row["share_pct"] = round(100.0 * row["tottime_s"] / total, 2) \
+            if total else 0.0
+        row["tottime_s"] = round(row["tottime_s"], 4)
+        row["cumtime_s"] = round(row["cumtime_s"], 4)
+    return {"wall_s": round(wall, 3), "profile_total_s": round(total, 3),
+            "hotspots": hotspots}
+
+
+def render(name: str, result: dict) -> str:
+    lines = [f"{name}: {result['wall_s']:.2f}s wall "
+             f"({result['profile_total_s']:.2f}s profiled)"]
+    lines.append(f"  {'share':>6}  {'tottime':>8}  {'cumtime':>8}  "
+                 f"{'ncalls':>9}  function")
+    for row in result["hotspots"]:
+        lines.append(f"  {row['share_pct']:5.1f}%  {row['tottime_s']:7.3f}s"
+                     f"  {row['cumtime_s']:7.3f}s  {row['ncalls']:>9}"
+                     f"  {row['func']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline diff
+# ----------------------------------------------------------------------
+def diff_scenario(name: str, fresh: dict, base: dict,
+                  grow_threshold: float,
+                  churn_floor: float = 2.5) -> list[str]:
+    """Advisory findings for one scenario (empty list = no drift).
+
+    Entering/leaving the top-N is only reported above ``churn_floor``
+    percent: the bottom of the list churns run to run on noise alone,
+    while a function arriving at (or vanishing from) a >2.5% share is a
+    real shift in where the time goes.
+    """
+    findings = []
+    base_shares = {r["func"]: r["share_pct"] for r in base["hotspots"]}
+    fresh_shares = {r["func"]: r["share_pct"] for r in fresh["hotspots"]}
+    for func, share in fresh_shares.items():
+        old = base_shares.get(func)
+        if old is None:
+            if share > churn_floor:
+                findings.append(
+                    f"{name}: NEW hotspot {func} at {share:.1f}% "
+                    "(absent from baseline top-N)")
+        elif share - old > grow_threshold:
+            findings.append(
+                f"{name}: {func} grew {old:.1f}% -> {share:.1f}% of profile "
+                f"(+{share - old:.1f} points)")
+    for func, old in base_shares.items():
+        if func not in fresh_shares and old > churn_floor:
+            findings.append(
+                f"{name}: {func} left the top-N (was {old:.1f}%) — "
+                "shrunk or renamed")
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        action="append",
+                        help="profile only these scenarios (default: all)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="hotspots per scenario (default 15)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed profile snapshot "
+                             "(default: benchmarks/PROFILE_baseline.json)")
+    parser.add_argument("--diff", action="store_true",
+                        help="compare hotspot shares against the baseline "
+                             "(advisory: reports drift, exits 0)")
+    parser.add_argument("--grow-threshold", type=float, default=3.0,
+                        help="share growth in percentage points that "
+                             "counts as drift under --diff (default 3.0)")
+    parser.add_argument("--churn-floor", type=float, default=2.5,
+                        help="minimum share (percent) for top-N "
+                             "entry/exit to be reported — the list tail "
+                             "churns on noise (default 2.5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when --diff finds drift (local use; "
+                             "CI stays advisory)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the fresh profile to --baseline")
+    parser.add_argument("--json", type=Path,
+                        help="also dump the fresh profile JSON here")
+    args = parser.parse_args(argv)
+
+    names = args.scenario or sorted(SCENARIOS)
+    _warm_imports()
+    results = {}
+    for name in names:
+        results[name] = profile_scenario(SCENARIOS[name], args.top)
+        print(render(name, results[name]))
+        print()
+
+    payload = {
+        "note": "hotspot shares of cProfile total per scenario; diffed by "
+                "scripts/profile_hotpath.py (advisory in CI)",
+        "top_n": args.top,
+        "scenarios": results,
+    }
+    if args.json:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"profile_hotpath: baseline written to {args.baseline}")
+        return 0
+
+    if args.diff:
+        if not args.baseline.exists():
+            print(f"profile_hotpath: no baseline at {args.baseline}; run "
+                  "with --write-baseline first", file=sys.stderr)
+            return 2
+        base = json.loads(args.baseline.read_text())
+        findings = []
+        for name in names:
+            if name in base.get("scenarios", {}):
+                findings.extend(diff_scenario(
+                    name, results[name], base["scenarios"][name],
+                    args.grow_threshold, args.churn_floor))
+            else:
+                findings.append(f"{name}: not in baseline (new scenario)")
+        if findings:
+            print(f"profile_hotpath: {len(findings)} drift finding(s) vs "
+                  f"{args.baseline.name}:")
+            for finding in findings:
+                print(f"  {finding}")
+            if args.strict:
+                return 1
+        else:
+            print("profile_hotpath: no hotspot drift vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

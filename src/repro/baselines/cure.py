@@ -177,18 +177,22 @@ class CurePartition(GstPartition):
 
     def _release_ready(self) -> None:
         if self.pending_backend == "runs":
-            for update, arrival in self._pending.pop_covered(
-                    self.summary, self._releasable):
-                self._install(update, arrival)
+            # Batched drain (GstPartition._install_many): installs are
+            # summary-gated, never store-gated, so draining after the pop
+            # is order-identical to interleaved per-op installs.
+            self._install_many(self._pending.pop_covered(
+                self.summary, self._releasable))
             return
         # Classic ablation: rescan the whole pending set every round.
         still_pending = []
-        for update, arrival in self._pending:
-            if self._releasable(update):
-                self._install(update, arrival)
+        released = []
+        for item in self._pending:
+            if self._releasable(item[0]):
+                released.append(item)
             else:
-                still_pending.append((update, arrival))
+                still_pending.append(item)
         self._pending = still_pending
+        self._install_many(released)
 
     # -- stabilization contribution ---------------------------------------
     def _local_summary(self) -> tuple:

@@ -114,12 +114,16 @@ class GentleRainPartition(GstPartition):
     def _release_ready(self) -> None:
         gst = self.summary[0]
         if self.pending_backend == "runs":
-            for update, arrival in self._pending.pop_stable(gst):
-                self._install(update, arrival)
+            # Batched drain: one covered-prefix pop, one hoisted install
+            # loop (see GstPartition._install_many) — same installs in the
+            # same order as the historical per-op calls.
+            self._install_many(self._pending.pop_stable(gst))
             return
+        released = []
         while self._pending and self._pending[0][0] <= gst:
             _, _, update, arrival = heapq.heappop(self._pending)
-            self._install(update, arrival)
+            released.append((update, arrival))
+        self._install_many(released)
 
     # -- stabilization contribution ---------------------------------------
     def _local_summary(self) -> tuple:

@@ -284,6 +284,44 @@ class GstPartition(Process):
         if slo is not None:
             slo.visibility(k, m, total_ms, extra_ms)
 
+    def _install_many(self, items) -> None:
+        """Batched deferred-set drain: install ``(update, arrival)`` pairs.
+
+        Call-for-call identical to looping :meth:`_install` — same LWW
+        puts, same metric points, same order — with the per-item handle
+        resolution (store put, metrics point, tracer, SLO sink) hoisted
+        out of the loop.  A summary broadcast can release hundreds of
+        deferred updates at once, so this loop is the GST/Cure analogue
+        of Eunomia's batched apply path.
+        """
+        if not items:
+            return
+        if type(self)._install is not GstPartition._install:
+            # Subclass hook (recording/ablation overrides): keep the
+            # per-op call so the override observes every install.
+            for update, arrival in items:
+                self._install(update, arrival)
+            return
+        put = self.visible.put
+        point = self.metrics.point
+        tracer = self.metrics.tracer
+        slo = self.metrics.slo
+        now = self.now
+        m = self.dc_id
+        for update, arrival in items:
+            put(update.key, Versioned(update.value, update.ts,
+                                      update.origin_dc, update.vts))
+            k = update.origin_dc
+            extra_ms = max(0.0, (now - arrival) * 1e3)
+            total_ms = (now - update.commit_time) * 1e3
+            point(f"vis_extra_ms:{k}->{m}", now, extra_ms)
+            point(f"vis_total_ms:{k}->{m}", now, total_ms)
+            if tracer is not None:
+                tracer.stage_once(update, "visible", now, m)
+            if slo is not None:
+                slo.visibility(k, m, total_ms, extra_ms)
+        self.remote_applies += len(items)
+
     # ------------------------------------------------------------------
     # Stabilization rounds
     # ------------------------------------------------------------------

@@ -121,6 +121,16 @@ class EunomiaConfig:
     #: (checkpoint + WAL) state alone — the no-surviving-peer path.
     state_transfer_timeout: float = 0.5
 
+    #: Receiver apply-pipeline depth (Alg. 5 dataplane): ``1`` is the
+    #: stop-and-wait default — one in-flight ``ApplyRemote`` per origin,
+    #: the golden-pinned historical behaviour.  ``P > 1`` lets the receiver
+    #: release up to P consecutive dependency-satisfied head ops of one
+    #: origin bound for the *same* local partition as a single
+    #: ``ApplyRemoteRun`` frame, acknowledged with one batched
+    #: ``ApplyRemoteOkRun`` — in-order within the origin either way, so
+    #: causality (condition 1 of Alg. 5 line 12) is preserved.
+    receiver_pipeline: int = 1
+
     #: Unstable-op buffer strategy: ``"runs"`` (per-origin monotone runs,
     #: O(1) ingestion + k-way-merge FIND_STABLE — safe because Alg. 3's
     #: PartitionTime dedup guarantees per-partition monotone inserts),
@@ -172,6 +182,8 @@ class EunomiaConfig:
             )
         if self.state_transfer_timeout <= 0:
             raise ValueError("state transfer timeout must be positive")
+        if self.receiver_pipeline < 1:
+            raise ValueError("receiver pipeline depth must be at least 1")
         if self.shard_policy not in ("stride", "block"):
             raise ValueError(
                 f"unknown shard policy {self.shard_policy!r} "

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
+from ..datastruct.opblock import OpBlock
 from ..kvstore.types import METADATA_OVERHEAD_BYTES, Update
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "RemoteData",
     "ApplyRemote",
     "ApplyRemoteOk",
+    "ApplyRemoteRun",
+    "ApplyRemoteOkRun",
     "ReplicaAlive",
 ]
 
@@ -84,12 +87,19 @@ class ClientUpdateReply:
 # ----------------------------------------------------------------------
 @dataclass(slots=True)
 class AddOpBatch:
-    """A timestamp-ordered run of updates from one partition.
+    """A timestamp-ordered run of updates from one partition, as a frame.
 
     With data/metadata separation the ``ops`` carry ``value=None`` — only
     ordering metadata flows through Eunomia.  ``resend`` marks at-least-once
     retransmissions to fault-tolerant replicas (charged less CPU at the
-    sender: the serialized buffer is reused).
+    sender: the serialized columnar frame is reused verbatim).
+
+    The wire payload is a columnar :class:`~repro.datastruct.opblock.OpBlock`
+    (``block``); pass one directly as ``ops`` to ship with zero per-op work,
+    or a plain update tuple which is columnarized once on construction.
+    ``ops`` always reads back as the update tuple (the block's payload
+    column), so per-op consumers are unaffected.  ``size_bytes`` is the
+    block's cached §5 wire total instead of a per-op sum per read.
 
     ``prev_ts`` is the timestamp of the last op of the partition's stream
     *before* this batch: the receiving replica accepts the batch only if its
@@ -102,11 +112,19 @@ class AddOpBatch:
     ops: tuple[Update, ...]
     prev_ts: int = 0
     resend: bool = False
+    block: Optional[OpBlock] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.ops, OpBlock):
+            self.block = self.ops
+            self.ops = self.block.payload
+        elif self.block is None:
+            self.block = OpBlock.from_updates(self.ops)
+            self.ops = self.block.payload
 
     @property
     def size_bytes(self) -> int:
-        return sum(op.size_bytes if op.value is not None else op.metadata_bytes
-                   for op in self.ops)
+        return self.block.wire_bytes()
 
 
 @dataclass(slots=True)
@@ -222,11 +240,19 @@ class ShardStableBatch:
     shard_id: int
     stable_ts: int
     ops: tuple[Update, ...]
+    block: Optional[OpBlock] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.ops, OpBlock):
+            self.block = self.ops
+            self.ops = self.block.payload
+        elif self.block is None:
+            self.block = OpBlock.from_updates(self.ops)
+            self.ops = self.block.payload
 
     @property
     def size_bytes(self) -> int:
-        return 16 + sum(op.size_bytes if op.value is not None
-                        else op.metadata_bytes for op in self.ops)
+        return 16 + self.block.wire_bytes()
 
 
 # ----------------------------------------------------------------------
@@ -234,15 +260,30 @@ class ShardStableBatch:
 # ----------------------------------------------------------------------
 @dataclass(slots=True)
 class RemoteStableBatch:
-    """Eunomia → remote receiver: a stable, totally-ordered run of updates."""
+    """Eunomia → remote receiver: a stable, totally-ordered run of updates.
+
+    Frame-carrying like :class:`AddOpBatch`: the ``block`` columns are
+    ascending in the run's ``(ts, partition, seq)`` serialization order, so
+    the receiver's duplicate filter is a bisection over ``block.ts`` and
+    the cached wire total makes the propagation multicast O(1) per
+    destination instead of a per-op sum per link.
+    """
 
     origin_dc: int
     ops: tuple[Update, ...]
+    block: Optional[OpBlock] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.ops, OpBlock):
+            self.block = self.ops
+            self.ops = self.block.payload
+        elif self.block is None:
+            self.block = OpBlock.from_updates(self.ops)
+            self.ops = self.block.payload
 
     @property
     def size_bytes(self) -> int:
-        return sum(op.size_bytes if op.value is not None else op.metadata_bytes
-                   for op in self.ops)
+        return self.block.wire_bytes()
 
 
 @dataclass(slots=True)
@@ -277,3 +318,40 @@ class ApplyRemoteOk:
 
     uid: Tuple[int, int, int]
     size_bytes: int = 16
+
+
+@dataclass(slots=True)
+class ApplyRemoteRun:
+    """Receiver → local partition: apply this same-partition run in order.
+
+    The pipelined form of :class:`ApplyRemote` (``receiver_pipeline > 1``):
+    up to P consecutive dependency-satisfied head ops of one origin's
+    queue, all owned by the same local partition, released as one frame.
+    FIFO links plus in-order service application keep Alg. 5's condition
+    (1) intact — each member's whole origin prefix is applied (or ahead of
+    it in the same frame) by the time it executes.
+    """
+
+    updates: tuple[Update, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(u.metadata_bytes for u in self.updates)
+
+
+@dataclass(slots=True)
+class ApplyRemoteOkRun:
+    """Partition → receiver: every listed member of a run applied.
+
+    The batched acknowledgement of one :class:`ApplyRemoteRun` — members
+    whose §5 payload was still in flight are excluded (they ack later with
+    an individual :class:`ApplyRemoteOk` once the data arrives), so the
+    receiver pops acknowledged *prefixes* rather than assuming the whole
+    run completed.
+    """
+
+    uids: tuple[Tuple[int, int, int], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 16 * len(self.uids)

@@ -21,7 +21,6 @@ the moment it executes here; network transit is factored out.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
 from ..calibration import Calibration
@@ -37,6 +36,8 @@ from .config import EunomiaConfig
 from .messages import (
     ApplyRemote,
     ApplyRemoteOk,
+    ApplyRemoteOkRun,
+    ApplyRemoteRun,
     BatchAck,
     ClientRead,
     ClientReadReply,
@@ -63,6 +64,9 @@ class EunomiaPartition(Process):
                 "ClientUpdate": (cal.cost("partition_update")
                                  + cal.cost("eunomia_update_extra")),
                 "ApplyRemote": cal.cost("partition_apply_remote"),
+                "ApplyRemoteRun":
+                    lambda msg: (cal.cost("partition_apply_remote")
+                                 * len(msg.updates)),
                 "RemoteData": cal.cost("partition_remote_data"),
             })
         super().__init__(env, name, site=dc_id, cost_model=cost_model)
@@ -83,6 +87,9 @@ class EunomiaPartition(Process):
         self._seq = 0
         self._pending_data: dict[tuple, tuple[Update, float]] = {}
         self._pending_apply: dict[tuple, tuple[Update, Process]] = {}
+        #: run suffix chained behind a data-pending member (pipelined
+        #: ApplyRemoteRun): resumes, in order, when that member's data lands
+        self._pending_run: dict[tuple, tuple[Update, ...]] = {}
         self.local_updates = 0
         self.remote_applies = 0
 
@@ -121,7 +128,8 @@ class EunomiaPartition(Process):
         queueing them behind foreground client operations would inflate
         visibility latency far beyond anything the paper measures.
         """
-        if type(msg).__name__ in ("ApplyRemote", "RemoteData"):
+        if type(msg).__name__ in ("ApplyRemote", "ApplyRemoteRun",
+                                  "RemoteData"):
             return "replication"
         return "cpu"
 
@@ -162,7 +170,7 @@ class EunomiaPartition(Process):
                 tracer.stage(update, "replicate", self.now, m)
         if self.config.separate_data_metadata:
             # §5: Eunomia orders identifiers; payloads go partition→sibling.
-            self.uplink.record(replace(update, value=None))
+            self.uplink.record(update.with_value(None))
             data = RemoteData(update)
             self.multicast(self.siblings.values(), data)
         else:
@@ -179,8 +187,13 @@ class EunomiaPartition(Process):
             # Metadata got here first: execute now; extra delay is zero
             # because execution is immediate upon data arrival.
             meta, receiver = waiting
-            self._execute_remote(replace(meta, value=update.value),
+            self._execute_remote(meta.with_value(update.value),
                                  data_arrival=self.now, receiver=receiver)
+            # A pipelined run parked behind this member resumes now — in
+            # order, so condition (1) of Alg. 5 line 12 stays intact.
+            rest = self._pending_run.pop(meta.uid, None)
+            if rest is not None:
+                self._apply_run(rest, receiver)
         else:
             self._pending_data[update.uid] = (update, self.now)
 
@@ -196,13 +209,49 @@ class EunomiaPartition(Process):
             # Ordering metadata (vts, commit time) always comes from the
             # receiver's copy — payloads may have been shipped before the
             # final stamp was known (S-Seq ships at request time).
-            self._execute_remote(replace(update, value=data.value),
+            self._execute_remote(update.with_value(data.value),
                                  data_arrival=arrival, receiver=src)
         else:
             self._execute_remote(update, data_arrival=self.now, receiver=src)
 
+    def on_apply_remote_run(self, msg: ApplyRemoteRun, src: Process) -> None:
+        """Pipelined release (``receiver_pipeline > 1``): apply a run.
+
+        Members execute strictly in run order.  Hitting a member whose §5
+        payload has not arrived stops the run: that member parks in
+        ``_pending_apply`` as usual and the *remaining* suffix is chained
+        behind it in ``_pending_run`` — executing later members first would
+        make an effect visible without its same-origin causal prefix.  The
+        executed prefix acknowledges as one :class:`ApplyRemoteOkRun`;
+        parked members ack individually when their data lands.
+        """
+        self._apply_run(msg.updates, src)
+
+    def _apply_run(self, updates: tuple, src: Process) -> None:
+        done = []
+        now = self.now
+        for i, update in enumerate(updates):
+            if update.value is None:
+                held = self._pending_data.pop(update.uid, None)
+                if held is None:
+                    self._pending_apply[update.uid] = (update, src)
+                    rest = updates[i + 1:]
+                    if rest:
+                        self._pending_run[update.uid] = rest
+                    break
+                data, arrival = held
+                self._execute_remote(update.with_value(data.value),
+                                     data_arrival=arrival, receiver=src,
+                                     ack=False)
+            else:
+                self._execute_remote(update, data_arrival=now, receiver=src,
+                                     ack=False)
+            done.append(update.uid)
+        if done:
+            self.send(src, ApplyRemoteOkRun(tuple(done)))
+
     def _execute_remote(self, update: Update, data_arrival: float,
-                        receiver: Process) -> None:
+                        receiver: Process, ack: bool = True) -> None:
         self.store.put(update.key, Versioned(update.value, update.ts,
                                              update.origin_dc, update.vts))
         self.remote_applies += 1
@@ -223,7 +272,8 @@ class EunomiaPartition(Process):
         slo = self.metrics.slo
         if slo is not None:
             slo.visibility(k, m, total_ms, extra_ms)
-        self.send(receiver, ApplyRemoteOk(update.uid))
+        if ack:
+            self.send(receiver, ApplyRemoteOk(update.uid))
 
     # ------------------------------------------------------------------
     # Uplink plumbing

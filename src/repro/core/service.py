@@ -51,7 +51,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..datastruct.opblock import OpBlock
 from ..datastruct.opbuffer import OpBuffer
 from ..metrics.collector import MetricsHub, NullMetrics
 from ..sim.env import Environment
@@ -203,24 +202,13 @@ class StabilizerBase(Process):
         self.shipped_stable = floor
         self.state_lost = False
 
-    @staticmethod
-    def _first_new(ops, pt: int) -> int:
-        """Index of the first op with ``ts > pt`` (batches are ascending)."""
-        lo, hi = 0, len(ops)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if ops[mid].ts <= pt:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
-
     def _batch_cost_of(self, msg: AddOpBatch) -> float:
         """Batch + per-*new*-op insert cost (duplicates found by bisection)."""
-        ops = msg.ops
-        lo = self._first_new(ops, self.partition_time[msg.partition_index])
+        block = msg.block
+        lo = block.first_above(self.partition_time[msg.partition_index])
         return (self.batch_cost
-                + (self.insert_op_cost + self._wal_op_cost) * (len(ops) - lo))
+                + (self.insert_op_cost + self._wal_op_cost)
+                * (len(block) - lo))
 
     def _combined_cost_of(self, msg) -> float:
         """One message overhead for a whole relay window (§5 tree win)."""
@@ -265,27 +253,26 @@ class StabilizerBase(Process):
             # the sender where to retransmit from.
             self._post_batch(msg, src)
             return
-        ops = msg.ops
-        lo = self._first_new(ops, pt)
-        if lo == len(ops):
+        block = msg.block
+        lo = block.first_above(pt)
+        if lo == len(block):
             self._post_batch(msg, src)
             return
-        block = OpBlock.from_updates(ops[lo:] if lo else ops)
         tracer = self.metrics.tracer
         if tracer is not None:
             now, site = self.now, self.site
             wal_name = self.wal.name if self.wal is not None else None
-            for op in (ops[lo:] if lo else ops):
+            for op in block.payload[lo:]:
                 tracer.ingest(op, now, site)
                 if wal_name is not None:
                     tracer.wal_staged(wal_name, op, now, site)
         if self.wal is not None:
             # Every accepted (PartitionTime-advancing) op is logged,
             # buffered or not — replay filters below the recovery floor.
-            self.wal.stage_ops(block.run_entries())
+            self.wal.stage_ops(block.run_entries(lo))
         # Ops at or below StableTime only advance PartitionTime; the rest
         # enter the unstable buffer as one pre-sorted run extension.
-        cut = block.first_above(self.stable_time)
+        cut = block.first_above(self.stable_time, lo)
         if cut < len(block):
             self.buffer.extend_run(block.run_entries(cut))
         self.partition_time[index] = block.ts[-1]

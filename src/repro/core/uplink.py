@@ -31,6 +31,7 @@ from typing import Optional
 
 from ..clocks.hlc import HybridLogicalClock
 from ..clocks.physical import PhysicalClock
+from ..datastruct.opblock import OpBlock, OpRunBuilder
 from ..kvstore.types import Update
 from ..sim.process import Process
 from .config import EunomiaConfig
@@ -43,6 +44,13 @@ class EunomiaUplink:
     """Batching/ack/heartbeat state machine bound to a host process.
 
     The host must expose a mutable ``batch_interval`` attribute (seconds).
+
+    Pending state is columnar (:class:`OpRunBuilder`): ``record`` appends
+    to parallel arrays, a shipping window is cut as an :class:`OpBlock`
+    with column slices, and the resulting frame — wire size included — is
+    cached per ``(window, prev_ts, resend)`` so a retransmission to a
+    stalled replica (Alg. 4's ``Ack_n[f]`` resend) re-ships the already
+    serialized columnar run with near-zero sender CPU.
     """
 
     def __init__(self, host: Process, partition_index: int,
@@ -56,16 +64,20 @@ class EunomiaUplink:
         self.op_cost = op_cost
         self.batch_cost = batch_cost
         self.replicas: list[Process] = []
-        self._pending: list[Update] = []       # ascending ts (hlc is monotone)
-        self._pending_ts: list[int] = []       # parallel array for bisect
+        #: columnar pending run, ascending ts (hlc is monotone)
+        self._pending = OpRunBuilder(partition_index)
         self._ack: dict[int, int] = {}         # replica pid -> Ack_n[f]
         self._sent: dict[int, int] = {}        # replica pid -> max ts ever sent
         self._retx_due: dict[int, float] = {}  # replica pid -> next retx time
         self._retx_strikes: dict[int, int] = {}  # consecutive unacked resends
         self._nonft_last_sent = 0              # stream position, non-FT mode
+        #: serialized-frame cache: (first_ts, last_ts, prev_ts, resend) ->
+        #: AddOpBatch — cleared whenever the acked prefix is pruned
+        self._frames: dict[tuple, AddOpBatch] = {}
         self._tick_task = None
         self.ops_shipped = 0
         self.retransmissions = 0
+        self.frames_reused = 0
         self.heartbeats_sent = 0
 
     # ------------------------------------------------------------------
@@ -136,13 +148,13 @@ class EunomiaUplink:
         Timestamps arrive in increasing order because the host's hybrid
         clock is strictly monotone (Property 2).
         """
-        if self._pending_ts and op.ts <= self._pending_ts[-1]:
+        ts_col = self._pending.ts
+        if ts_col and op.ts <= ts_col[-1]:
             raise ValueError(
                 f"non-monotone uplink timestamps: {op.ts} after "
-                f"{self._pending_ts[-1]} (Property 2 violated by host)"
+                f"{ts_col[-1]} (Property 2 violated by host)"
             )
         self._pending.append(op)
-        self._pending_ts.append(op.ts)
 
     def on_ack(self, msg: BatchAck, src: Process) -> None:
         """Handle a replica's cumulative acknowledgement (Alg. 4 line 5)."""
@@ -170,13 +182,13 @@ class EunomiaUplink:
                 self._ship_suffix(replica)
             self._prune()
         else:
-            if self._pending:
-                ops = tuple(self._pending)
-                self._pending.clear()
-                self._pending_ts.clear()
-                self._transmit(self.replicas[0], ops, n_new=len(ops),
+            pending = self._pending
+            if pending:
+                block = pending.cut(0)
+                pending.drop_prefix(len(pending))
+                self._transmit(self.replicas[0], block, n_new=len(block),
                                prev_ts=self._nonft_last_sent)
-                self._nonft_last_sent = ops[-1].ts
+                self._nonft_last_sent = block.ts[-1]
         self._maybe_heartbeat()
 
     def _ship_suffix(self, replica: Process) -> None:
@@ -187,17 +199,20 @@ class EunomiaUplink:
         retransmit = (ack < sent
                       and self.host.now >= self._retx_due[pid])
         start_from = ack if retransmit else sent
-        start = bisect.bisect_right(self._pending_ts, start_from)
-        if start >= len(self._pending):
+        ts_col = self._pending.ts
+        start = bisect.bisect_right(ts_col, start_from)
+        if start >= len(ts_col):
             return
-        end = min(len(self._pending), start + self.config.max_batch_ops)
-        ops = tuple(self._pending[start:end])
-        n_new = sum(1 for op in ops if op.ts > sent)
+        end = min(len(ts_col), start + self.config.max_batch_ops)
+        last_ts = ts_col[end - 1]
+        # New ops in the window counted by bisection (ts ascending): the
+        # suffix above this replica's high-water ``sent`` mark.
+        n_new = end - bisect.bisect_right(ts_col, sent, start, end)
         if retransmit:
             self.retransmissions += 1
             self._retx_strikes[pid] = self._retx_strikes.get(pid, 0) + 1
-        if ops[-1].ts > sent:
-            self._sent[pid] = ops[-1].ts
+        if last_ts > sent:
+            self._sent[pid] = last_ts
         # Arm the stall timer for the *oldest* unacked transmission: only
         # when idle (nothing was outstanding) or when the timer just fired.
         # Re-arming on every send would let a steady stream of new batches
@@ -207,12 +222,26 @@ class EunomiaUplink:
         # resend_timeout.
         if retransmit or self._retx_due[pid] == float("inf"):
             self._retx_due[pid] = self.host.now + self._stall_timeout(pid)
-        self._transmit(replica, ops, n_new, prev_ts=start_from)
+        # Frame reuse: identical windows — the common case for
+        # retransmissions and for the R-replica fan-out of one tick — ship
+        # the same serialized AddOpBatch object (immutable column
+        # snapshots), so only the first build pays the column slices.
+        frame_key = (ts_col[start], last_ts, start_from, n_new == 0)
+        frame = self._frames.get(frame_key)
+        if frame is None:
+            frame = AddOpBatch(self.partition_index,
+                               self._pending.cut(start, end),
+                               prev_ts=start_from, resend=(n_new == 0))
+            self._frames[frame_key] = frame
+        else:
+            self.frames_reused += 1
+        self._transmit(replica, frame, n_new)
 
-    def _transmit(self, replica: Process, ops: tuple, n_new: int,
+    def _transmit(self, replica: Process, batch, n_new: int,
                   prev_ts: int = 0) -> None:
-        batch = AddOpBatch(self.partition_index, ops, prev_ts=prev_ts,
-                           resend=(n_new == 0))
+        if not isinstance(batch, AddOpBatch):
+            batch = AddOpBatch(self.partition_index, batch, prev_ts=prev_ts,
+                               resend=(n_new == 0))
         cost = self.batch_cost + self.op_cost * n_new
         self.ops_shipped += n_new
         metrics = getattr(self.host, "metrics", None)
@@ -221,7 +250,7 @@ class EunomiaUplink:
             # stage_once: retransmissions re-ship the same window; only
             # the first departure is the pipeline latency
             now, site = self.host.now, self.host.site
-            for op in ops:
+            for op in batch.ops:
                 tracer.stage_once(op, "uplink_ship", now, site)
         self.host._enqueue(lambda: self.host.send(replica, batch), cost)
 
@@ -230,10 +259,12 @@ class EunomiaUplink:
         if not self._ack or not self._pending:
             return
         min_ack = min(self._ack.values())
-        cut = bisect.bisect_right(self._pending_ts, min_ack)
+        cut = bisect.bisect_right(self._pending.ts, min_ack)
         if cut:
-            del self._pending[:cut]
-            del self._pending_ts[:cut]
+            self._pending.drop_prefix(cut)
+            # Cached frames are immutable snapshots, so pruning never
+            # invalidates one — this just bounds the cache to live windows.
+            self._frames.clear()
 
     def _maybe_heartbeat(self) -> None:
         """Alg. 2 lines 10–12, applied per replica.
@@ -249,7 +280,8 @@ class EunomiaUplink:
             return
         targets = []
         if self.config.fault_tolerant:
-            last_ts = self._pending_ts[-1] if self._pending_ts else 0
+            ts_col = self._pending.ts
+            last_ts = ts_col[-1] if ts_col else 0
             for replica in self.replicas:
                 if self._ack[replica.pid] >= last_ts:  # nothing outstanding
                     targets.append(replica)

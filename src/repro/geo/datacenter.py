@@ -93,6 +93,7 @@ class EunomiaProtocol(ProtocolSpec):
             site.env, f"dc{site.dc_id}/receiver", site.dc_id, site.n_dcs,
             check_interval=config.receiver_check_interval,
             calibration=cal, metrics=site.metrics, placement=pmap,
+            pipeline=config.receiver_pipeline,
         )
         receiver.set_partitions(site.ring, partitions)
         relays = stack.wire_uplinks(resident)

@@ -58,6 +58,17 @@ class Update:
         """Total-order key used by Eunomia's op buffer (ties → any order)."""
         return (self.ts, self.partition_index, self.seq)
 
+    def with_value(self, value: Any) -> "Update":
+        """Copy with a different payload (metadata↔data pairing, §5).
+
+        Direct construction instead of ``dataclasses.replace`` — this runs
+        once per shipped/applied op on the hot replication paths, and
+        ``replace``'s field introspection is measurable there.
+        """
+        return Update(self.key, value, self.origin_dc, self.partition_index,
+                      self.seq, self.ts, self.vts, self.commit_time,
+                      self.value_bytes)
+
 
 @dataclass(slots=True)
 class Versioned:

@@ -128,7 +128,13 @@ class EventLoop:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: heap of ``(time, seq, event)`` entries: heapq then compares
+        #: plain tuples at C speed, and ``seq`` is unique so comparison
+        #: never falls through to the event object — this removes the
+        #: millions of ``Event.__lt__`` interpreter frames that used to
+        #: dominate paper-scale runs.  Firing order is unchanged: it is
+        #: the same ``(time, seq)`` total order.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now: float = 0.0
         self._running = False
@@ -172,7 +178,7 @@ class EventLoop:
                 f"cannot schedule at t={time!r}, already at t={self._now!r}"
             )
         event = Event(time, next(self._seq), fn, args, self)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         self._pending += 1
         return event
 
@@ -215,7 +221,7 @@ class EventLoop:
         heap = self._heap
         heappop = heapq.heappop
         while heap:
-            event = heappop(heap)
+            event = heappop(heap)[2]
             if event.cancelled:
                 continue
             self._pending -= 1
@@ -247,7 +253,7 @@ class EventLoop:
         fired = 0
         try:
             while heap:
-                event = heap[0]
+                event = heap[0][2]
                 if event.cancelled:
                     heappop(heap)
                     continue
@@ -284,7 +290,7 @@ class TimeWheelLoop(EventLoop):
 
     Firing order is exactly the base loop's ``(time, seq)`` total order:
     buckets partition the time axis, and within a bucket the heap compares
-    ``(time, seq)`` via :meth:`Event.__lt__` — the property test in
+    the same ``(time, seq, event)`` entries as the base loop — the property test in
     ``tests/test_sim_batching.py`` drives arbitrary one-shot/periodic/
     cancelled mixes through both backends and asserts identical histories.
     The heap backend stays the reference implementation and the default
@@ -300,8 +306,10 @@ class TimeWheelLoop(EventLoop):
             raise SimulationError("wheel needs at least two slots")
         self._res = resolution
         self._n = wheel_slots
-        self._buckets: list[list[Event]] = [[] for _ in range(wheel_slots)]
-        self._overflow: list[Event] = []     # events beyond the horizon
+        #: buckets and overflow hold the same ``(time, seq, event)``
+        #: entries as the base loop's heap (C-level tuple comparisons).
+        self._buckets: list[list[tuple]] = [[] for _ in range(wheel_slots)]
+        self._overflow: list[tuple] = []     # events beyond the horizon
         self._cursor = 0                     # absolute slot index being drained
         self._wheel_count = 0                # events (incl. cancelled) in ring
 
@@ -320,11 +328,12 @@ class TimeWheelLoop(EventLoop):
 
     def _insert(self, event: Event) -> None:
         idx = int(event.time / self._res)
+        entry = (event.time, event.seq, event)
         if idx - self._cursor < self._n:
-            heapq.heappush(self._buckets[idx % self._n], event)
+            heapq.heappush(self._buckets[idx % self._n], entry)
             self._wheel_count += 1
         else:
-            heapq.heappush(self._overflow, event)
+            heapq.heappush(self._overflow, entry)
 
     def _migrate(self) -> None:
         """Pull overflow events that now fall inside the ring's horizon."""
@@ -333,9 +342,9 @@ class TimeWheelLoop(EventLoop):
             return
         res, n = self._res, self._n
         horizon = self._cursor + n
-        while overflow and int(overflow[0].time / res) < horizon:
-            event = heapq.heappop(overflow)
-            heapq.heappush(self._buckets[int(event.time / res) % n], event)
+        while overflow and int(overflow[0][0] / res) < horizon:
+            entry = heapq.heappop(overflow)
+            heapq.heappush(self._buckets[int(entry[0] / res) % n], entry)
             self._wheel_count += 1
 
     # ------------------------------------------------------------------
@@ -361,12 +370,12 @@ class TimeWheelLoop(EventLoop):
         buckets, n = self._buckets, self._n
         while self._wheel_count or self._overflow:
             if not self._wheel_count:
-                self._cursor = int(self._overflow[0].time / self._res)
+                self._cursor = int(self._overflow[0][0] / self._res)
                 self._migrate()
                 continue
             bucket = buckets[self._cursor % n]
             while bucket:
-                event = heapq.heappop(bucket)
+                event = heapq.heappop(bucket)[2]
                 self._wheel_count -= 1
                 if event.cancelled:
                     continue

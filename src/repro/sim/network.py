@@ -34,6 +34,7 @@ class Network:
     def __init__(self, env: Environment, latency: Optional[LatencyModel] = None,
                  loss_rate: float = 0.0):
         self.env = env
+        self._loop = env.loop   # hot-path alias (the loop never changes)
         self.latency = latency or ConstantLatency()
         self.loss_rate = loss_rate
         self._rng = env.rng.stream("network")
@@ -144,11 +145,11 @@ class Network:
             return
         self.messages_sent += 1
         self.bytes_sent += getattr(msg, "size_bytes", 0)
-        loop = self.env.loop
+        loop = self._loop
         delay = self.latency.delay(src, dst, self._rng)
         if self._link_extra_delay:
             delay += self._link_extra_delay.get(key, 0.0)
-        deliver_at = loop.now + delay
+        deliver_at = loop._now + delay
         # FIFO per directed link: never overtake the previous delivery.
         last = self._last_delivery
         previous = last.get(key)
@@ -187,8 +188,8 @@ class Network:
             return
         rate = (self._link_loss.get(key, self.loss_rate)
                 if self._link_loss else self.loss_rate)
-        loop = self.env.loop
-        now = loop.now
+        loop = self._loop
+        now = loop._now
         latency_delay = self.latency.delay
         rng = self._rng
         extra = (self._link_extra_delay.get(key, 0.0)
@@ -226,10 +227,10 @@ class Network:
         if not group:
             return
         if len(group) == 1:
-            self.env.loop.schedule_at(deliver_at, dst.deliver, group[0], src)
+            self._loop.schedule_at(deliver_at, dst.deliver, group[0], src)
         else:
-            self.env.loop.schedule_at(deliver_at, dst.deliver_batch,
-                                      tuple(group), src)
+            self._loop.schedule_at(deliver_at, dst.deliver_batch,
+                                   tuple(group), src)
 
     def multicast(self, src: Process, dsts: Iterable[Process],
                   msg: Any) -> None:

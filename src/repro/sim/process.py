@@ -107,6 +107,7 @@ class Process:
     def __init__(self, env: Environment, name: str, site: int = 0,
                  cost_model: Optional[CostModel] = None):
         self.env = env
+        self._loop = env.loop   # hot-path alias (the loop never changes)
         self.name = name
         self.site = site
         self.pid = env.allocate_pid()
@@ -124,17 +125,18 @@ class Process:
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self.env.loop.now
+        return self._loop._now
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any):
         """Run ``fn`` after ``delay`` seconds (no CPU cost, crash-aware)."""
-        epoch = self._epoch
+        return self._loop.schedule(delay, self._run_deferred, self._epoch,
+                                   fn, args)
 
-        def guarded() -> None:
-            if not self.crashed and self._epoch == epoch:
-                fn(*args)
-
-        return self.env.loop.schedule(delay, guarded)
+    def _run_deferred(self, epoch: int, fn: Callable[..., Any],
+                      args: tuple) -> None:
+        """Crash/epoch-guarded trampoline for :meth:`after` callbacks."""
+        if not self.crashed and self._epoch == epoch:
+            fn(*args)
 
     def periodic(self, period, fn: Callable[[], Any],
                  cost: float = 0.0, phase: Optional[float] = None) -> PeriodicTask:
@@ -195,11 +197,34 @@ class Process:
         return "cpu"
 
     def deliver(self, msg: Any, src: "Process") -> None:
-        """Called by the network at delivery time; feeds the service queue."""
+        """Called by the network at delivery time; feeds the service queue.
+
+        This is :meth:`_enqueue` inlined for the dominant per-message case:
+        the service-slot reservation is identical, but the scheduled event
+        carries ``(epoch, msg, src)`` as plain args into
+        :meth:`_run_delivery` instead of allocating two closures per
+        message (the dispatch lambda and the guard) — same completion time,
+        same event order, two fewer allocations on the hottest path in the
+        simulator.
+        """
         if self.crashed:
             return
-        self._enqueue(lambda: self._dispatch(msg, src),
-                      self.cost_model.cost_of(msg), lane=self.lane_of(msg))
+        cost = self.cost_model.cost_of(msg)
+        lane = self.lane_of(msg)
+        busy = self._lane_busy
+        loop = self._loop
+        start = busy.get(lane, 0.0)
+        now = loop._now
+        if start < now:
+            start = now
+        complete = start + cost
+        busy[lane] = complete
+        loop.schedule_at(complete, self._run_delivery, self._epoch, msg, src)
+
+    def _run_delivery(self, epoch: int, msg: Any, src: "Process") -> None:
+        """Service-slot completion: dispatch unless crashed/re-epoched."""
+        if not self.crashed and self._epoch == epoch:
+            self._dispatch(msg, src)
 
     def deliver_batch(self, msgs: tuple, src: "Process") -> None:
         """One network batch arriving as a single event (``send_many``).
@@ -221,42 +246,51 @@ class Process:
             return
         cost_of = self.cost_model.cost_of
         lane_of = self.lane_of
+        loop = self._loop
         costs = [cost_of(msg) for msg in msgs]
         if not any(costs):
             lanes = {lane_of(msg) for msg in msgs}
-            if len(lanes) == 1 and not self._lane_busy.get(lanes.pop(), 0.0) > self.now:
-                epoch = self._epoch
-
-                def run_group() -> None:
-                    dispatch = self._dispatch
-                    for msg in msgs:
-                        # A handler may crash (or crash+recover) the process
-                        # mid-batch; the per-message path's _enqueue guard
-                        # drops the remainder, so the group run must too.
-                        if self.crashed or self._epoch != epoch:
-                            return
-                        dispatch(msg, src)
-
-                self.env.loop.schedule_at(self.now, run_group)
+            if len(lanes) == 1 and not self._lane_busy.get(lanes.pop(), 0.0) > loop._now:
+                loop.schedule_at(loop._now, self._run_group, self._epoch,
+                                 msgs, src)
                 return
+        busy = self._lane_busy
+        now = loop._now
+        run_delivery = self._run_delivery
+        epoch = self._epoch
         for msg, cost in zip(msgs, costs):
-            self._enqueue(lambda m=msg: self._dispatch(m, src), cost,
-                          lane=lane_of(msg))
+            lane = lane_of(msg)
+            start = busy.get(lane, 0.0)
+            if start < now:
+                start = now
+            complete = start + cost
+            busy[lane] = complete
+            loop.schedule_at(complete, run_delivery, epoch, msg, src)
+
+    def _run_group(self, epoch: int, msgs: tuple, src: "Process") -> None:
+        """Fire one merged free-message group (``deliver_batch``)."""
+        dispatch = self._dispatch
+        for msg in msgs:
+            # A handler may crash (or crash+recover) the process mid-batch;
+            # the per-message path's delivery guard drops the remainder, so
+            # the group run must too.
+            if self.crashed or self._epoch != epoch:
+                return
+            dispatch(msg, src)
 
     def _enqueue(self, fn: Callable[[], Any], cost: float,
                  lane: str = "cpu") -> None:
         """Reserve a ``cost``-second slot on ``lane``, then run ``fn``."""
-        now = self.now
-        start = max(now, self._lane_busy.get(lane, 0.0))
+        loop = self._loop
+        start = max(loop._now, self._lane_busy.get(lane, 0.0))
         complete = start + cost
         self._lane_busy[lane] = complete
-        epoch = self._epoch
+        loop.schedule_at(complete, self._run_enqueued, self._epoch, fn)
 
-        def run() -> None:
-            if not self.crashed and self._epoch == epoch:
-                fn()
-
-        self.env.loop.schedule_at(complete, run)
+    def _run_enqueued(self, epoch: int, fn: Callable[[], Any]) -> None:
+        """Crash/epoch-guarded trampoline for :meth:`_enqueue` slots."""
+        if not self.crashed and self._epoch == epoch:
+            fn()
 
     def _dispatch(self, msg: Any, src: "Process") -> None:
         handler = self._handler_cache.get(type(msg))

@@ -117,14 +117,17 @@ def test_multicast_honors_faults_per_destination():
         st.tuples(
             st.integers(min_value=0, max_value=6),     # batch size
             st.sampled_from(["none", "loss", "cut", "heal", "gray",
-                             "clear_gray"]),           # fault toggle first
+                             "clear_gray", "crash_dst",
+                             "recover_dst"]),          # fault toggle first
         ),
         min_size=1, max_size=12),
     seed=st.integers(min_value=0, max_value=2**16),
 )
 def test_interleaved_faults_property(plan, seed):
     """Arbitrary interleavings of fault toggles and batches stay in
-    lockstep between the per-message and the batched paths."""
+    lockstep between the per-message and the batched paths — including
+    crash/recover of the destination, whose epoch guard must drop
+    in-flight deliveries identically for merged and per-message events."""
     def run(batched):
         env, net, a, b = _twin(seed, jitter=True)
         seq = 0
@@ -139,6 +142,12 @@ def test_interleaved_faults_property(plan, seed):
                 net.set_link_extra_delay(a, b, 0.002)
             elif toggle == "clear_gray":
                 net.set_link_extra_delay(a, b, 0.0)
+            elif toggle == "crash_dst":
+                if not b.crashed:
+                    b.crash()
+            elif toggle == "recover_dst":
+                if b.crashed:
+                    b.recover()
             msgs = [Ping(seq + i) for i in range(size)]
             seq += size
             if batched:
